@@ -1,0 +1,46 @@
+"""Ablation — §VII: "there are also further improvement opportunities
+on the LZSS algorithm, like improved searching with better search
+algorithms."
+
+Quantifies two classic refinements on the paper's datasets: one-byte
+lazy evaluation of matches (zlib-style) and the bit-optimal DP parse.
+Reported as measured ratio deltas for the serial format.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.bench.paper import PAPER_DATASET_ORDER, PAPER_DATASET_TITLES
+from repro.datasets import generate
+from repro.lzss.encoder import encode
+from repro.lzss.formats import SERIAL
+
+SIZE = 256 * 1024
+
+
+def test_lazy_parse_ratios(benchmark):
+    def sweep():
+        out = {}
+        for name in PAPER_DATASET_ORDER:
+            data = generate(name, SIZE)
+            out[name] = tuple(
+                encode(data, SERIAL, parse=p).stats.ratio
+                for p in ("greedy", "lazy", "optimal"))
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["EXTENSION (§VII): parse strategies, serial format "
+             "(measured ratios)",
+             f"{'dataset':<16}{'greedy':>10}{'lazy':>10}{'optimal':>10}"
+             f"{'opt gain':>10}"]
+    for name, (greedy, lazy, optimal) in rows.items():
+        lines.append(f"{PAPER_DATASET_TITLES[name]:<16}"
+                     f"{greedy * 100:>9.2f}%{lazy * 100:>9.2f}%"
+                     f"{optimal * 100:>9.2f}%"
+                     f"{(greedy - optimal) * 100:>+9.2f}pt")
+    report("extension_lazy_parse", "\n".join(lines))
+
+    for name, (greedy, lazy, optimal) in rows.items():
+        assert lazy <= greedy + 1e-9, name
+        assert optimal <= lazy + 1e-9, name

@@ -1,0 +1,59 @@
+"""Ablation — §VII's negative result: "we could not receive any gains
+in our attempt to use multiple GPUs ... we suspect the division of the
+GPUs by threads introduced thread overhead."
+
+Splits the C-files V2 run over 1–4 simulated GTX 480s: per-buffer host
+thread overhead and the shared PCIe link erase the kernel-division
+gains at the paper's dispatch granularity.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.bench.paper import PAPER_INPUT_BYTES
+from repro.core.v2 import V2Compressor
+from repro.gpusim.multi import simulate_multi_gpu
+from repro.gpusim.spec import FERMI_GTX480
+from repro.gpusim.timing import transfer_time
+from repro.model.gpu import scale_to_paper
+
+DEVICES = (1, 2, 3, 4)
+
+
+def test_multigpu_no_gain(benchmark, artifacts, calibration):
+    arts = artifacts["cfiles"]
+    v2 = V2Compressor()
+    prof = v2.profile(arts.v2, calibration)
+    scale = PAPER_INPUT_BYTES / arts.size
+    kernel_s = prof.phase_seconds("kernel_match") * scale
+    transfer_s = (prof.phase_seconds("h2d_input")
+                  + prof.phase_seconds("d2h_match_records")) * scale
+    # The paper's attempt drove the GPUs from host threads at fine
+    # granularity ("the division of the GPUs by threads introduced
+    # thread overhead") — model a 64 KiB dispatch buffer, the
+    # granularity at which pipelined network-gateway buffers arrive.
+    dispatches = PAPER_INPUT_BYTES // (64 * 1024)
+
+    results = benchmark.pedantic(
+        lambda: {d: simulate_multi_gpu(FERMI_GTX480, kernel_s, transfer_s,
+                                       devices=d,
+                                       dispatches_per_device=dispatches)
+                 for d in DEVICES},
+        rounds=1, iterations=1)
+
+    lines = ["ABLATION (§VII): multi-GPU split of the C-files V2 run",
+             f"{'devices':>8}{'kernel':>10}{'transfer':>10}"
+             f"{'thread ovh':>12}{'total':>10}"]
+    for d in DEVICES:
+        r = results[d]
+        lines.append(f"{d:>8}{r.kernel_seconds:>9.2f}s"
+                     f"{r.transfer_seconds:>9.2f}s"
+                     f"{r.thread_overhead_seconds:>11.2f}s"
+                     f"{r.total_seconds:>9.2f}s")
+    lines.append('paper: "could not receive any gains" from multi-GPU')
+    report("ablation_multigpu", "\n".join(lines))
+
+    single = results[1].total_seconds
+    # no configuration achieves a meaningful gain
+    for d in DEVICES[1:]:
+        assert results[d].total_seconds > single * 0.9

@@ -1,0 +1,52 @@
+"""Ablation — §VII: pipelining/streaming and the heterogeneous split.
+
+Two of the paper's proposed improvements, quantified on the C-files
+workload: (a) Fermi copy/compute streaming over a buffer sequence
+versus strictly sequential execution; (b) splitting the input between
+the GPU and the host cores versus either device alone.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core import CompressionParams, HeterogeneousCompressor, StreamingPipeline
+from repro.datasets import generate
+
+N_BUFFERS = 6
+BUFFER_BYTES = 192 * 1024
+
+
+def test_streaming_pipeline(benchmark, calibration):
+    buffers = [generate("cfiles", BUFFER_BYTES, seed=100 + i)
+               for i in range(N_BUFFERS)]
+    pipe = StreamingPipeline(CompressionParams(version=2), calibration)
+    res = benchmark.pedantic(pipe.compress_stream, args=(buffers,),
+                             rounds=1, iterations=1)
+
+    lines = ["EXTENSION (§VII): Fermi streaming over "
+             f"{N_BUFFERS} x {BUFFER_BYTES >> 10} KiB buffers, V2",
+             f"sequential: {res.sequential_seconds * 1e3:8.2f} ms",
+             f"pipelined:  {res.pipelined_seconds * 1e3:8.2f} ms "
+             f"({res.overlap_speedup:.2f}x)",
+             "stage totals: " + ", ".join(
+                 f"{k}={v * 1e3:.2f}ms" for k, v in res.stage_seconds.items())]
+    report("extension_streaming", "\n".join(lines))
+
+    assert res.overlap_speedup >= 1.0
+
+
+def test_heterogeneous_split(benchmark, calibration):
+    data = generate("cfiles", 512 * 1024)
+    het = HeterogeneousCompressor(calibration=calibration)
+    plan = benchmark.pedantic(het.plan, args=(data,), rounds=1, iterations=1)
+
+    t_gpu_alone = plan.gpu_seconds / plan.gpu_fraction
+    t_cpu_alone = plan.cpu_seconds / (1 - plan.gpu_fraction)
+    lines = ["EXTENSION (§VII): heterogeneous CPU+GPU split, C files",
+             f"GPU alone:  {t_gpu_alone * 1e3:8.2f} ms",
+             f"CPU alone:  {t_cpu_alone * 1e3:8.2f} ms",
+             f"combined:   {plan.makespan * 1e3:8.2f} ms "
+             f"(GPU takes {plan.gpu_fraction:.0%} of the input)"]
+    report("extension_heterogeneous", "\n".join(lines))
+
+    assert plan.makespan < min(t_gpu_alone, t_cpu_alone)

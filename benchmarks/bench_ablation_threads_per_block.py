@@ -1,0 +1,55 @@
+"""Ablation — §III.D: "128 threads per block configuration is giving
+the best performance."
+
+Sweeps the V2 launch shape over {32..512} threads per block on the
+C-files dataset.  The tradeoff the model carries: small blocks multiply
+dispatch overhead and starve latency hiding; past 128 the V1-style
+shared footprints stop fitting (§V) — 128 is the sweet spot.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.params import CompressionParams
+from repro.core.v1 import V1Compressor
+from repro.core.v2 import V2Compressor
+from repro.gpusim.scheduler import occupancy
+from repro.gpusim.spec import FERMI_GTX480
+from repro.model.gpu import scale_to_paper
+
+SWEEP = (32, 64, 128, 256, 512)
+
+
+def _v2_seconds(arts, cal, threads: int) -> float:
+    params = CompressionParams(version=2, threads_per_block=threads)
+    prof = V2Compressor(params).profile(arts.v2, cal)
+    return scale_to_paper(prof.total_seconds, arts.size)
+
+
+def test_threads_per_block_sweep(benchmark, artifacts, calibration):
+    arts = artifacts["cfiles"]
+    times = benchmark.pedantic(
+        lambda: {t: _v2_seconds(arts, calibration, t) for t in SWEEP},
+        rounds=1, iterations=1)
+
+    lines = ["ABLATION (§III.D): V2 threads-per-block sweep, C files",
+             f"{'threads':>8}{'modeled':>12}   V1 buffers fit?"]
+    for threads in SWEEP:
+        v1_fit = occupancy(FERMI_GTX480, threads,
+                           CompressionParams(
+                               version=1,
+                               threads_per_block=threads).shared_bytes_per_block
+                           ).launchable
+        lines.append(f"{threads:>8}{times[threads]:>11.2f}s   "
+                     f"{'yes' if v1_fit else 'NO (16 KB exceeded)'}")
+    lines.append("paper: 128 threads/block is best")
+    report("ablation_threads_per_block", "\n".join(lines))
+
+    best = min(times, key=times.get)
+    assert best == 128, times
+    # §V's complementary claim: V1's buffers stop fitting past 256.
+    assert not occupancy(
+        FERMI_GTX480, 512,
+        CompressionParams(version=1,
+                          threads_per_block=512).shared_bytes_per_block
+    ).launchable

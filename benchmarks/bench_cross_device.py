@@ -1,0 +1,44 @@
+"""Cross-device sweep — §VII's forward-looking question.
+
+The paper calls CUDA compression "a future proof application for the
+new trend"; this sweep runs the V2 cost model on three generations of
+parts (pre-Fermi GTX 280, the testbed GTX 480, the ECC Tesla C2050)
+to show how the modeled time tracks SM width, clocks and shared-memory
+geometry.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.params import CompressionParams
+from repro.core.v2 import V2Compressor
+from repro.gpusim.spec import FERMI_C2050, FERMI_GTX480, TESLA_GTX280
+from repro.model.gpu import scale_to_paper
+
+DEVICES = (TESLA_GTX280, FERMI_GTX480, FERMI_C2050)
+
+
+def test_cross_device_sweep(benchmark, artifacts, calibration):
+    arts = artifacts["cfiles"]
+
+    def sweep():
+        out = {}
+        for device in DEVICES:
+            params = CompressionParams(version=2, device=device)
+            prof = V2Compressor(params).profile(arts.v2, calibration)
+            out[device.name] = scale_to_paper(prof.total_seconds, arts.size)
+        return out
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["EXTENSION (§VII): V2 C-files compression across GPU generations",
+             f"{'device':<20}{'SMs x cores':>14}{'clock':>10}{'modeled':>10}"]
+    for device in DEVICES:
+        lines.append(f"{device.name:<20}"
+                     f"{device.sm_count:>7} x {device.cores_per_sm:<4}"
+                     f"{device.core_clock_hz / 1e9:>9.2f}G"
+                     f"{times[device.name]:>9.2f}s")
+    report("extension_cross_device", "\n".join(lines))
+
+    # the testbed Fermi beats the pre-Fermi part (wider SMs, dual issue)
+    assert times[FERMI_GTX480.name] < times[TESLA_GTX280.name]

@@ -1,0 +1,62 @@
+"""§V crossover — "The two versions give us the opportunity to satisfy
+any data types, highly compressible or not": V2 wins on data around
+50 % compressible or worse; V1 takes over as data gets more
+compressible (its serial skip pays off, V2's all-position matching
+does not).
+
+Sweeps the repetition dial of the tunable generator, models both
+versions, and locates the crossover.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.params import CompressionParams
+from repro.core.v1 import V1Compressor
+from repro.core.v2 import V2Compressor
+from repro.datasets.tunable import generate_tunable
+from repro.lzss.encoder import encode
+from repro.lzss.formats import SERIAL
+from repro.model.cpu import sample_match_statistics
+from repro.model.gpu import scale_to_paper
+
+REPETITIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+SIZE = 192 * 1024
+
+
+def test_crossover(benchmark, calibration):
+    v1, v2 = V1Compressor(), V2Compressor()
+
+    def sweep():
+        rows = []
+        for rep in REPETITIONS:
+            data = generate_tunable(SIZE, rep)
+            ratio = encode(data, SERIAL).stats.ratio
+            sample = sample_match_statistics(data)
+            t1 = scale_to_paper(
+                v1.profile(v1.compress(data), calibration, sample
+                           ).total_seconds, SIZE)
+            t2 = scale_to_paper(
+                v2.profile(v2.compress(data), calibration).total_seconds,
+                SIZE)
+            rows.append((rep, ratio, t1, t2))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["CROSSOVER (§V): which CULZSS version wins vs compressibility",
+             f"{'repetition':>11}{'serial ratio':>14}{'V1':>9}{'V2':>9}"
+             "   winner"]
+    for rep, ratio, t1, t2 in rows:
+        winner = "V1" if t1 < t2 else "V2"
+        lines.append(f"{rep:>11.1f}{ratio * 100:>13.1f}%{t1:>8.2f}s"
+                     f"{t2:>8.2f}s   {winner}")
+    lines.append("paper: V2 best at ≳50% ratios; V1 best on highly "
+                 "compressible data")
+    report("crossover_compressibility", "\n".join(lines))
+
+    # the claim: V2 wins at the incompressible end, V1 at the runny end
+    _, _, t1_hard, t2_hard = rows[0]
+    _, _, t1_easy, t2_easy = rows[-1]
+    assert t2_hard < t1_hard
+    assert t1_easy < t2_easy

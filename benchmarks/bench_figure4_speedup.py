@@ -1,0 +1,48 @@
+"""Figure 4 — compression speedup against the serial LZSS implementation.
+
+The paper's bar chart: Pthread/BZIP2/CULZSS-V1/CULZSS-V2 speedups over
+the serial coder per dataset.  Rendered as an ASCII chart with the
+published bars alongside, plus headline-claim assertions (§I's "up to
+18x serial / 3x pthread / 6x bzip2" envelope — our modeled factors must
+land in the same regime).
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.bench.paper import PAPER_DATASET_ORDER
+from repro.bench.tables import format_figure4
+
+
+def test_figure4_render(benchmark, runs):
+    text = benchmark.pedantic(format_figure4, args=(runs,), rounds=1,
+                              iterations=1)
+    report("figure4_speedups", text)
+    _check_claims(runs)
+
+
+def _check_claims(runs):
+    # Best GPU speedup vs serial across datasets lands in the paper's
+    # "up to 18x" regime (ours is anchored on V1/V2 C-files cells).
+    best_gpu = max(
+        max(r.speedup_vs_serial("culzss_v1"), r.speedup_vs_serial("culzss_v2"))
+        for r in runs.values())
+    assert 5.0 < best_gpu < 40.0
+    # Every dataset has a GPU version beating pthread except possibly
+    # the two run-heavy ones (§V) — C files and dictionary must.
+    for name in ("cfiles", "dictionary"):
+        r = runs[name]
+        assert (min(r.compress_seconds["culzss_v1"],
+                    r.compress_seconds["culzss_v2"])
+                < r.compress_seconds["pthread"])
+
+
+@pytest.mark.parametrize("dataset", PAPER_DATASET_ORDER)
+def test_speedup_rows(benchmark, dataset, runs):
+    run = runs[dataset]
+    speedups = benchmark.pedantic(
+        lambda: {s: run.speedup_vs_serial(s)
+                 for s in ("pthread", "bzip2", "culzss_v1", "culzss_v2")},
+        rounds=1, iterations=1)
+    for system, value in speedups.items():
+        benchmark.extra_info[system] = round(value, 2)

@@ -1,0 +1,78 @@
+"""Real wall-clock microbenchmarks of this library's primitives.
+
+Everything above measures the *modeled* 2011 testbed; these measure the
+actual Python/NumPy implementation on the machine running the suite —
+the numbers a downstream user of the library cares about.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bzip2.bwt import bwt_transform
+from repro.bzip2.mtf import mtf_encode
+from repro.bzip2.pipeline import compress as bz_compress
+from repro.datasets import generate
+from repro.lzss.decoder import decode
+from repro.lzss.encoder import encode
+from repro.lzss.formats import CUDA_V2, SERIAL
+from repro.lzss.lagmatch import lag_best_matches
+from repro.lzss.matcher import hash_chain_best_matches
+from repro.util.bitio import pack_tokens
+from repro.util.checksum import adler32
+
+SIZE = 256 * 1024
+
+
+@pytest.fixture(scope="module")
+def cfiles():
+    return generate("cfiles", SIZE)
+
+
+def test_serial_encode(benchmark, cfiles):
+    r = benchmark(encode, cfiles, SERIAL)
+    benchmark.extra_info["MB_per_s_hint"] = "see stats"
+    assert r.stats.ratio < 1.0
+
+
+def test_v2_window_scan(benchmark, cfiles):
+    res = benchmark(lag_best_matches, cfiles, 128, 66)
+    assert res.compare_count > 0
+
+
+def test_hash_chain_matcher(benchmark, cfiles):
+    blen, _ = benchmark(hash_chain_best_matches, cfiles, 4096, 18)
+    assert blen.max() > 0
+
+
+def test_decode(benchmark, cfiles):
+    r = encode(cfiles, SERIAL)
+    out = benchmark(decode, r.payload, SERIAL, SIZE)
+    assert out == cfiles
+
+
+def test_bwt(benchmark, cfiles):
+    last, _ = benchmark(bwt_transform, cfiles[:131072])
+    assert len(last) == 131072
+
+
+def test_mtf(benchmark, cfiles):
+    out = benchmark(mtf_encode, cfiles[:131072])
+    assert len(out) == 131072
+
+
+def test_bzip2_pipeline(benchmark, cfiles):
+    r = benchmark(bz_compress, cfiles)
+    assert r.ratio < 0.6
+
+
+def test_pack_tokens(benchmark):
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, 1 << 16, 200_000)
+    nbits = rng.integers(9, 18, 200_000)
+    values &= (1 << nbits) - 1
+    payload, total = benchmark(pack_tokens, values, nbits)
+    assert total == nbits.sum()
+
+
+def test_adler32(benchmark, cfiles):
+    assert benchmark(adler32, cfiles) > 0

@@ -1,0 +1,38 @@
+"""Table I — compression benchmark average running times.
+
+Regenerates the paper's central table: modeled 128 MB compression
+seconds for Serial LZSS, Pthread LZSS, BZIP2, CULZSS V1 and V2 on the
+five datasets, printed next to the published cells.  The benchmarked
+quantity per system is its full model-evaluation path over the
+pre-gathered functional artifacts.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.bench.harness import run_dataset
+from repro.bench.paper import PAPER_DATASET_ORDER, TABLE1_SYSTEMS
+from repro.bench.tables import format_table, table1_rows
+
+
+@pytest.mark.parametrize("dataset", PAPER_DATASET_ORDER)
+def test_table1_dataset_row(benchmark, dataset, artifacts, calibration):
+    """One Table I row: model all five systems for one dataset."""
+    run = benchmark.pedantic(run_dataset, args=(artifacts[dataset], calibration),
+                             rounds=1, iterations=1)
+    for system in TABLE1_SYSTEMS:
+        benchmark.extra_info[system] = round(run.compress_seconds[system], 3)
+
+
+def test_table1_render(benchmark, runs):
+    """Assemble and record the complete Table I."""
+    rows = benchmark.pedantic(table1_rows, args=(runs,), rounds=1,
+                              iterations=1)
+    text = format_table(rows, "TABLE I: compression times "
+                              "(seconds @128 MB, modeled GTX 480 / i7 920)")
+    report("table1_compression_times", text)
+    # the five anchor cells must sit on the published values
+    cf = rows["cfiles"]
+    for system in TABLE1_SYSTEMS:
+        ours, paper = cf[system]
+        assert ours == pytest.approx(paper, rel=0.05), system

@@ -1,0 +1,44 @@
+"""Table II — compression ratios (smaller is better).
+
+Unlike Table I these are *measured*, not modeled: every cell is
+``len(compressed)/len(original)`` of actual encoded bytes that
+round-trip.  The benchmarked quantity is the V2 encode of the C-files
+dataset (the most interesting real compression workload).
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.bench.paper import PAPER_DATASET_ORDER, TABLE2_SYSTEMS
+from repro.bench.tables import format_table, table2_rows
+from repro.core.params import CompressionParams
+from repro.core.v2 import V2Compressor
+from repro.datasets import generate
+
+
+def test_table2_render(benchmark, runs):
+    rows = benchmark.pedantic(table2_rows, args=(runs,), rounds=1,
+                              iterations=1)
+    text = format_table(rows, "TABLE II: compression ratios (measured)",
+                        percent=True)
+    report("table2_compression_ratios", text)
+    for name in PAPER_DATASET_ORDER:
+        for system in TABLE2_SYSTEMS:
+            ours, paper = rows[name][system]
+            # measured ratios must stay in the paper's neighbourhood
+            assert abs(ours - paper) < 0.30, (name, system)
+    # the paper's orderings: V1 ≥ serial everywhere; V2 best on the
+    # highly-compressible set
+    for name in PAPER_DATASET_ORDER:
+        assert rows[name]["culzss_v1"][0] >= rows[name]["serial"][0] - 1e-9
+    hc = rows["highly_compressible"]
+    assert hc["culzss_v2"][0] < hc["serial"][0]
+
+
+@pytest.mark.parametrize("dataset", PAPER_DATASET_ORDER)
+def test_v2_encode_throughput(benchmark, dataset):
+    """Real wall-clock of this library's V2 encoder per dataset."""
+    data = generate(dataset, 256 * 1024)
+    compressor = V2Compressor(CompressionParams(version=2))
+    result = benchmark(compressor.compress, data)
+    benchmark.extra_info["ratio"] = round(result.stats.ratio, 4)

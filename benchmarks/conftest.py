@@ -1,0 +1,62 @@
+"""Shared benchmark fixtures: one functional run per dataset, reused.
+
+The expensive part of every table is the *functional* compression runs
+(real bytes, exact operation counts); they are gathered once per
+session at ``REPRO_BENCH_MB`` MiB (default 1) and shared by all
+benchmark files.  Rendered tables are collected in ``REPORTS`` and
+printed by the ``pytest_terminal_summary`` hook, so
+``pytest benchmarks/ --benchmark-only`` shows them without ``-s``;
+they are also written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import bench_bytes, gather_artifacts, run_dataset
+from repro.bench.paper import PAPER_DATASET_ORDER
+from repro.model.fitting import fit_calibration
+
+#: Rendered report blocks, printed at session end and saved to disk.
+REPORTS: dict[str, str] = {}
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    REPORTS[name] = text
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def artifacts():
+    """Functional runs of all five datasets at benchmark scale."""
+    size = bench_bytes()
+    return {name: gather_artifacts(name, size)
+            for name in PAPER_DATASET_ORDER}
+
+
+@pytest.fixture(scope="session")
+def calibration(artifacts):
+    """Anchors re-fitted against this session's C-files artifacts."""
+    return fit_calibration(artifacts["cfiles"])
+
+
+@pytest.fixture(scope="session")
+def runs(artifacts, calibration):
+    """Modeled paper-scale results for every dataset."""
+    return {name: run_dataset(arts, calibration)
+            for name, arts in artifacts.items()}
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not REPORTS:
+        return
+    tr = terminalreporter
+    tr.section("CULZSS reproduction — paper tables and figures")
+    for name in sorted(REPORTS):
+        tr.write_line("")
+        tr.write_line(REPORTS[name])

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: compressing gateway pairs.
+
+"From an application perspective, such as in a network application, the
+input data resides in a memory buffer that needs to be compressed at
+one gateway of the network and decompressed at the egress gateway, so
+the data looks the same going in as coming out." (§III)
+
+Simulates a flow of packet buffers through an ingress gateway (GPU
+compression), a bandwidth-limited link, and an egress gateway (GPU
+decompression) — and reports how much link time compression bought at
+what computational cost.
+
+Run:  python examples/network_gateway.py
+"""
+
+from repro import CompressionParams, gpu_compress, gpu_decompress
+from repro.datasets import generate
+
+LINK_BYTES_PER_S = 1e9 / 8  # a 2011-era 1 Gb/s WAN link
+BUFFER_BYTES = 512 * 1024
+N_BUFFERS = 8
+
+
+def main() -> None:
+    params = CompressionParams(version=2)
+    sent = received = 0
+    raw_link_s = comp_link_s = gpu_s = 0.0
+
+    print(f"pushing {N_BUFFERS} x {BUFFER_BYTES // 1024} KiB buffers "
+          f"through a {LINK_BYTES_PER_S * 8 / 1e9:.0f} Gb/s link\n")
+    for i in range(N_BUFFERS):
+        # traffic mix: source trees, map tiles, logs…
+        kind = ["cfiles", "demap", "kernel_tarball", "dictionary"][i % 4]
+        payload = generate(kind, BUFFER_BYTES, seed=1000 + i)
+
+        # ingress gateway
+        wire = gpu_compress(payload, params)
+        # egress gateway
+        out = gpu_decompress(wire.data)
+        assert out.data == payload, "gateway corrupted a buffer"
+
+        sent += len(payload)
+        received += wire.compressed_size
+        raw_link_s += len(payload) / LINK_BYTES_PER_S
+        comp_link_s += wire.compressed_size / LINK_BYTES_PER_S
+        gpu_s += wire.modeled_seconds + out.modeled_seconds
+
+        print(f"buffer {i} ({kind:<14}): {len(payload) >> 10} KiB -> "
+              f"{wire.compressed_size >> 10} KiB  (ratio {wire.ratio:.1%})")
+
+    print()
+    print(f"bytes on the wire: {sent:,} -> {received:,}")
+    print(f"link time:   {raw_link_s * 1000:7.2f} ms raw "
+          f"-> {comp_link_s * 1000:7.2f} ms compressed")
+    print(f"GPU time:    {gpu_s * 1000:7.2f} ms (modeled, both gateways)")
+    saved = raw_link_s - comp_link_s - gpu_s
+    verdict = "WORTH IT" if saved > 0 else "not worth it at this link speed"
+    print(f"net effect:  {saved * 1000:+7.2f} ms -> {verdict}")
+    print()
+    print("note: half-megabyte buffers underutilize the simulated GTX 480")
+    print("(one decode block per 128 chunks -> one SM busy); the paper")
+    print("streams 128 MB buffers, where the per-buffer overheads vanish —")
+    print("and the GPU/link tradeoff flips on bandwidth-limited WAN links.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e .` needs bdist_wheel; `python setup.py develop` does not.
+All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Benchmark harness: runs every system on every dataset and emits the
+paper's tables and figures (Tables I–III, Figure 4) plus the ablation
+claims of §III.D and §V.
+"""
+
+from repro.bench.harness import DatasetRun, run_dataset, run_all
+from repro.bench.paper import (
+    PAPER_DATASET_ORDER,
+    PAPER_INPUT_BYTES,
+    TABLE1_SECONDS,
+    TABLE2_RATIOS,
+    TABLE3_SECONDS,
+)
+from repro.bench.tables import (
+    format_figure4,
+    format_table,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+
+__all__ = [
+    "DatasetRun",
+    "PAPER_DATASET_ORDER",
+    "PAPER_INPUT_BYTES",
+    "TABLE1_SECONDS",
+    "TABLE2_RATIOS",
+    "TABLE3_SECONDS",
+    "format_figure4",
+    "format_table",
+    "run_all",
+    "run_dataset",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+]

@@ -1,0 +1,85 @@
+"""The paper's published numbers, transcribed.
+
+Single source of truth for every figure the evaluation section reports:
+Table I (compression seconds), Table II (compression ratios), Table III
+(decompression seconds).  The calibration anchors (C-files column) and
+the EXPERIMENTS.md paper-vs-measured comparison both read from here.
+
+Datasets are keyed by the registry names in :mod:`repro.datasets`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_DATASET_ORDER",
+    "PAPER_DATASET_TITLES",
+    "PAPER_INPUT_BYTES",
+    "TABLE1_SECONDS",
+    "TABLE1_SYSTEMS",
+    "TABLE2_RATIOS",
+    "TABLE2_SYSTEMS",
+    "TABLE3_SECONDS",
+    "TABLE3_SYSTEMS",
+]
+
+#: Every dataset is "128 MB in size" (§IV.B).
+PAPER_INPUT_BYTES = 128 * 1024 * 1024
+
+PAPER_DATASET_ORDER = [
+    "cfiles",
+    "demap",
+    "dictionary",
+    "kernel_tarball",
+    "highly_compressible",
+]
+
+PAPER_DATASET_TITLES = {
+    "cfiles": "C files",
+    "demap": "DE Map",
+    "dictionary": "Dictionary",
+    "kernel_tarball": "Kernel tarball",
+    "highly_compressible": "Highly Compr.",
+}
+
+TABLE1_SYSTEMS = ["serial", "pthread", "bzip2", "culzss_v1", "culzss_v2"]
+
+#: Table I — compression benchmark average running times (seconds).
+TABLE1_SECONDS = {
+    "cfiles": {"serial": 50.58, "pthread": 9.12, "bzip2": 20.97,
+               "culzss_v1": 7.28, "culzss_v2": 4.26},
+    "demap": {"serial": 30.75, "pthread": 6.25, "bzip2": 9.14,
+              "culzss_v1": 4.69, "culzss_v2": 15.00},
+    "dictionary": {"serial": 56.91, "pthread": 9.35, "bzip2": 20.18,
+                   "culzss_v1": 7.13, "culzss_v2": 3.22},
+    "kernel_tarball": {"serial": 50.49, "pthread": 9.16, "bzip2": 20.45,
+                       "culzss_v1": 7.08, "culzss_v2": 4.79},
+    "highly_compressible": {"serial": 4.23, "pthread": 1.2, "bzip2": 77.82,
+                            "culzss_v1": 0.49, "culzss_v2": 3.40},
+}
+
+TABLE2_SYSTEMS = ["serial", "bzip2", "culzss_v1", "culzss_v2"]
+
+#: Table II — compression ratios, compressed/original (smaller is better).
+TABLE2_RATIOS = {
+    "cfiles": {"serial": 0.5480, "bzip2": 0.1560,
+               "culzss_v1": 0.5570, "culzss_v2": 0.6349},
+    "demap": {"serial": 0.3390, "bzip2": 0.1180,
+              "culzss_v1": 0.3420, "culzss_v2": 0.3335},
+    "dictionary": {"serial": 0.6140, "bzip2": 0.3450,
+                   "culzss_v1": 0.6180, "culzss_v2": 0.6509},
+    "kernel_tarball": {"serial": 0.5510, "bzip2": 0.1690,
+                       "culzss_v1": 0.5650, "culzss_v2": 0.6259},
+    "highly_compressible": {"serial": 0.1350, "bzip2": 0.0040,
+                            "culzss_v1": 0.1390, "culzss_v2": 0.0634},
+}
+
+TABLE3_SYSTEMS = ["serial", "culzss"]
+
+#: Table III — decompression benchmark average running times (seconds).
+TABLE3_SECONDS = {
+    "cfiles": {"serial": 1.79, "culzss": 0.53},
+    "demap": {"serial": 1.21, "culzss": 0.49},
+    "dictionary": {"serial": 2.02, "culzss": 0.55},
+    "kernel_tarball": {"serial": 1.77, "culzss": 0.56},
+    "highly_compressible": {"serial": 0.71, "culzss": 0.27},
+}

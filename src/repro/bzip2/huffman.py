@@ -1,0 +1,171 @@
+"""Canonical, length-limited Huffman coding for the RLE2 symbol stream.
+
+Code lengths come from the classic two-queue Huffman construction; if
+the deepest code exceeds the 20-bit limit (possible on extremely
+skewed RUNA-dominated blocks), frequencies are halved-and-rebuilt until
+it fits — the standard practical limiter.  Codes are canonicalized
+(shorter first, then by symbol), so the container only ships the
+length table.
+
+Encoding is one :func:`repro.util.bitio.pack_tokens` scatter.  Decoding
+reuses the package's jump-chain trick: a canonical decode table maps
+the next ``max_len`` bits at every bit position to (symbol, length),
+the per-position jump table follows, and reachable-set doubling yields
+all code boundaries at once.
+
+Simplification vs. real bzip2 (documented in DESIGN.md): one table per
+block instead of six switching tables selected per 50-symbol group —
+worth a few percent of ratio, nothing else.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lzss.parse import reachable_from
+from repro.util.bitio import pack_tokens, unpack_bits
+from repro.util.validation import require
+
+__all__ = [
+    "HuffmanCode",
+    "MAX_CODE_LEN",
+    "huffman_code_lengths",
+    "huffman_decode",
+    "huffman_encode",
+]
+
+MAX_CODE_LEN = 20
+
+
+def huffman_code_lengths(freqs: np.ndarray,
+                         max_len: int = MAX_CODE_LEN) -> np.ndarray:
+    """Code length per symbol (0 for absent symbols), depth-limited."""
+    freqs = np.asarray(freqs, dtype=np.int64)
+    require(bool((freqs >= 0).all()), "negative frequency")
+    present = np.nonzero(freqs)[0]
+    lengths = np.zeros(freqs.size, dtype=np.int64)
+    if present.size == 0:
+        return lengths
+    if present.size == 1:
+        lengths[present[0]] = 1
+        return lengths
+
+    work = freqs.copy()
+    while True:
+        # (weight, tiebreak, symbols-under-this-node)
+        heap = [(int(work[s]), int(s), [int(s)]) for s in np.nonzero(work)[0]]
+        heapq.heapify(heap)
+        depth = np.zeros(freqs.size, dtype=np.int64)
+        counter = freqs.size  # unique tiebreaks for merged nodes
+        while len(heap) > 1:
+            w1, _, s1 = heapq.heappop(heap)
+            w2, _, s2 = heapq.heappop(heap)
+            for s in s1:
+                depth[s] += 1
+            for s in s2:
+                depth[s] += 1
+            heapq.heappush(heap, (w1 + w2, counter, s1 + s2))
+            counter += 1
+        if int(depth.max()) <= max_len:
+            lengths[:] = depth
+            return lengths
+        # Flatten the distribution and retry — the classic limiter.
+        work = np.where(work > 0, (work + 1) // 2, 0)
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Canonical code values: shorter codes first, ties by symbol."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    codes = np.zeros(lengths.size, dtype=np.int64)
+    code = 0
+    prev_len = 0
+    order = np.lexsort((np.arange(lengths.size), lengths))
+    for sym in order:
+        ln = int(lengths[sym])
+        if ln == 0:
+            continue
+        code <<= (ln - prev_len)
+        codes[sym] = code
+        code += 1
+        prev_len = ln
+    return codes
+
+
+@dataclass
+class HuffmanCode:
+    """A canonical code: per-symbol lengths and code values."""
+
+    lengths: np.ndarray
+    codes: np.ndarray
+
+    @classmethod
+    def from_frequencies(cls, freqs: np.ndarray,
+                         max_len: int = MAX_CODE_LEN) -> "HuffmanCode":
+        lengths = huffman_code_lengths(freqs, max_len)
+        return cls(lengths=lengths, codes=canonical_codes(lengths))
+
+    @classmethod
+    def from_lengths(cls, lengths: np.ndarray) -> "HuffmanCode":
+        lengths = np.asarray(lengths, dtype=np.int64)
+        return cls(lengths=lengths, codes=canonical_codes(lengths))
+
+    @property
+    def max_len(self) -> int:
+        return int(self.lengths.max(initial=0))
+
+
+def huffman_encode(symbols: np.ndarray, code: HuffmanCode) -> tuple[bytes, int]:
+    """Pack a symbol stream; returns (bytes, total bits)."""
+    syms = np.asarray(symbols, dtype=np.int64)
+    require(bool((code.lengths[syms] > 0).all()),
+            "symbol without a code in the table")
+    return pack_tokens(code.codes[syms], code.lengths[syms])
+
+
+def huffman_decode(payload: bytes, nbits: int, code: HuffmanCode,
+                   n_symbols: int) -> np.ndarray:
+    """Decode exactly ``n_symbols`` symbols from a packed stream.
+
+    Builds the canonical decode LUT (2^max_len entries), reads a
+    max_len-bit window at every bit position, jump-chains code
+    boundaries, and gathers the symbols — all vectorized.
+    """
+    if n_symbols == 0:
+        return np.zeros(0, dtype=np.int64)
+    ml = code.max_len
+    require(ml > 0, "empty code table")
+    # LUT: prefix → (symbol, length)
+    lut_sym = np.zeros(1 << ml, dtype=np.int64)
+    lut_len = np.zeros(1 << ml, dtype=np.int64)
+    for sym in np.nonzero(code.lengths)[0]:
+        ln = int(code.lengths[sym])
+        base = int(code.codes[sym]) << (ml - ln)
+        span = 1 << (ml - ln)
+        lut_sym[base:base + span] = sym
+        lut_len[base:base + span] = ln
+
+    bits = unpack_bits(payload, min(nbits, 8 * len(payload)))
+    # Pad so every position can read a full ml-bit window.
+    padded = np.concatenate([bits, np.zeros(ml, dtype=np.uint8)])
+    npos = bits.size
+    require(npos >= 1, "empty Huffman stream")
+    # Sliding ml-bit windows at every position: ml shifted adds keep
+    # this O(ml·n) with O(n) memory (a gather matrix would be n×ml).
+    windows = np.zeros(npos, dtype=np.int64)
+    for k in range(ml):
+        windows += padded[k:k + npos].astype(np.int64) << (ml - 1 - k)
+    step = lut_len[windows]
+    # Zero-length steps mark prefixes with no code.  Positions off the
+    # decode chain (padding tails) may hold them legally; the chain
+    # itself must not land on one — validated after the walk.
+    jump = np.arange(npos, dtype=np.int64) + np.maximum(step, 1)
+    starts = reachable_from(jump, 0)
+    require(starts.size >= n_symbols,
+            "corrupt Huffman stream: ran out of bits")
+    kept = starts[:n_symbols]
+    require(bool((step[kept] > 0).all()),
+            "corrupt Huffman stream: unknown prefix")
+    return lut_sym[windows[kept]]

@@ -1,0 +1,111 @@
+"""Zero-run encoding (RLE2) with RUNA/RUNB symbols.
+
+BZIP2 never emits literal MTF zeroes: a run of ``r`` zeroes becomes the
+bijective-base-2 digits of ``r`` over the two symbols RUNA (=1) and
+RUNB (=2), least significant first — ``r = Σ (d_k + 1)·2^k``.
+Non-zero MTF values ``v`` shift up by one to make room.  The output
+alphabet is therefore 0=RUNA, 1=RUNB, 2..256 = MTF value+1, and the
+Huffman stage appends 257 as its end-of-block symbol.
+
+Encoded/decoded vectorized: runs are found by boundary diffing, their
+digit expansions computed with a short loop over digit positions
+(log₂ of the longest run), and scattered into place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.bitio import ragged_arange
+from repro.util.buffers import as_u8
+from repro.util.validation import require
+
+__all__ = ["RUNA", "RUNB", "ALPHABET_SIZE", "rle2_decode", "rle2_encode"]
+
+RUNA = 0
+RUNB = 1
+#: 0/1 = RUNA/RUNB, 2..256 = byte+1, 257 = EOB (used by the Huffman stage).
+ALPHABET_SIZE = 258
+
+
+def _run_digit_count(lengths: np.ndarray) -> np.ndarray:
+    """Number of bijective-base-2 digits of each run length (≥1)."""
+    # r needs d digits where 2^d − 1 < r+1 ≤ 2^(d+1) − 1 ⇒ d = ⌊log2(r+1)⌋
+    return np.floor(np.log2(lengths.astype(np.float64) + 1.0)).astype(np.int64)
+
+
+def rle2_encode(data) -> np.ndarray:
+    """MTF byte stream → int16 symbol stream (RUNA/RUNB/shifted values)."""
+    arr = as_u8(data)
+    n = arr.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int16)
+    boundaries = np.nonzero(arr[1:] != arr[:-1])[0] + 1
+    starts = np.concatenate([[0], boundaries]).astype(np.int64)
+    ends = np.concatenate([boundaries, [n]]).astype(np.int64)
+    lengths = ends - starts
+    values = arr[starts]
+
+    is_zero_run = values == 0
+    out_lens = np.where(is_zero_run, _run_digit_count(lengths), lengths)
+    total = int(out_lens.sum())
+    out = np.zeros(total, dtype=np.int16)
+    out_start = np.concatenate([[0], np.cumsum(out_lens)[:-1]])
+
+    # Non-zero runs: the value+1, repeated.
+    nz = ~is_zero_run
+    if np.any(nz):
+        pos = np.repeat(out_start[nz], out_lens[nz]) + ragged_arange(out_lens[nz])
+        out[pos] = np.repeat(values[nz].astype(np.int16) + 1, out_lens[nz])
+
+    # Zero runs: bijective-base-2 digits, LSD first.
+    if np.any(is_zero_run):
+        r = lengths[is_zero_run].copy()
+        zstart = out_start[is_zero_run]
+        digit = 0
+        active = np.arange(r.size)
+        while active.size:
+            d = (r[active] - 1) & 1  # 0 → RUNA, 1 → RUNB
+            out[zstart[active] + digit] = d.astype(np.int16)  # RUNA=0, RUNB=1
+            r[active] = (r[active] - 1 - d) // 2
+            active = active[r[active] > 0]
+            digit += 1
+    return out
+
+
+def rle2_decode(symbols: np.ndarray) -> bytes:
+    """Inverse of :func:`rle2_encode`."""
+    syms = np.asarray(symbols, dtype=np.int64)
+    if syms.size == 0:
+        return b""
+    require(bool((syms >= 0).all() and (syms <= 256).all()),
+            "RLE2 symbol out of range")
+    is_run_digit = syms <= RUNB
+    # Group consecutive run digits: each maximal group encodes one run.
+    boundaries = np.nonzero(is_run_digit[1:] != is_run_digit[:-1])[0] + 1
+    starts = np.concatenate([[0], boundaries]).astype(np.int64)
+    ends = np.concatenate([boundaries, [syms.size]]).astype(np.int64)
+    glen = ends - starts
+    gdigit = is_run_digit[starts]
+
+    out_lens = np.zeros(starts.size, dtype=np.int64)
+    # Literal groups copy through (value − 1 each).
+    lit = ~gdigit
+    out_lens[lit] = glen[lit]
+    # Digit groups: r = Σ (d_k + 1) 2^k, LSD first within the group.
+    if np.any(gdigit):
+        run_groups = np.nonzero(gdigit)[0]
+        for gi in run_groups:  # groups are few (one per zero run)
+            digits = syms[starts[gi]:ends[gi]]
+            weights = np.int64(1) << np.arange(digits.size, dtype=np.int64)
+            out_lens[gi] = int(((digits + 1) * weights).sum())
+
+    total = int(out_lens.sum())
+    out = np.zeros(total, dtype=np.uint8)
+    out_start = np.concatenate([[0], np.cumsum(out_lens)[:-1]])
+    if np.any(lit):
+        pos = np.repeat(out_start[lit], glen[lit]) + ragged_arange(glen[lit])
+        src = np.repeat(starts[lit], glen[lit]) + ragged_arange(glen[lit])
+        out[pos] = (syms[src] - 1).astype(np.uint8)
+    # Zero runs: output already zero-initialized.
+    return out.tobytes()

@@ -1,0 +1,197 @@
+"""``culzss`` — the standalone file compressor (the paper's I/O version).
+
+§III: "The other version is the I/O version which is a standalone
+compression program.  It follows the same flow except reading from and
+writing to the given files."
+
+Usage::
+
+    culzss compress   INPUT OUTPUT [--version {1,2}] [--system SYSTEM]
+    culzss decompress INPUT OUTPUT
+    culzss info       INPUT
+    culzss bench      [--size-mb N] [--datasets a,b,...]
+    culzss report     [--size-mb N] [--output FILE]
+
+``--system`` selects any of the five evaluated systems (culzss-v1,
+culzss-v2, serial, pthread, bzip2); CULZSS/serial outputs are
+self-describing containers, so ``decompress`` needs no flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = ["build_parser", "main"]
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    data = Path(args.input).read_bytes()
+    system = args.system or f"culzss-v{args.version}"
+    if system in ("culzss-v1", "culzss-v2"):
+        from repro.core import CompressionParams, gpu_compress
+
+        version = 1 if system.endswith("1") else 2
+        buf = gpu_compress(data, CompressionParams(version=version))
+        blob = buf.data
+        print(f"{system}: {len(data)} -> {len(blob)} bytes "
+              f"(ratio {buf.ratio:.4f}, modeled GTX-480 time "
+              f"{buf.modeled_seconds:.4f}s)")
+    elif system == "serial":
+        from repro.cpu import SerialLzss
+
+        blob = SerialLzss().compress_container(data)
+        print(f"serial: {len(data)} -> {len(blob)} bytes")
+    elif system == "pthread":
+        from repro.container import pack_container
+        from repro.cpu import PthreadLzss
+
+        blob = pack_container(PthreadLzss().compress(data))
+        print(f"pthread: {len(data)} -> {len(blob)} bytes")
+    elif system == "bzip2":
+        from repro.bzip2 import compress
+
+        blob = compress(data).blob
+        print(f"bzip2: {len(data)} -> {len(blob)} bytes")
+    else:
+        print(f"unknown system {system!r}", file=sys.stderr)
+        return 2
+    Path(args.output).write_bytes(blob)
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    blob = Path(args.input).read_bytes()
+    if blob[:4] == b"RBZ2":
+        from repro.bzip2 import decompress
+
+        out = decompress(blob)
+    elif blob[:4] == b"CLZS":
+        from repro.container import unpack_container
+
+        info = unpack_container(blob)
+        if info.is_chunked:
+            from repro.core import gpu_decompress
+
+            out = gpu_decompress(blob).data
+        else:
+            from repro.lzss import decode
+
+            out = decode(info.payload, info.format, info.original_size)
+    else:
+        print("unrecognized container magic", file=sys.stderr)
+        return 2
+    Path(args.output).write_bytes(out)
+    print(f"{len(blob)} -> {len(out)} bytes")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    blob = Path(args.input).read_bytes()
+    if blob[:4] == b"RBZ2":
+        print("format: bzip2-style container")
+        return 0
+    from repro.container import unpack_container
+
+    info = unpack_container(blob)
+    print(f"format: {info.format.name}")
+    print(f"original size: {info.original_size}")
+    print(f"payload size: {len(info.payload)}")
+    if info.is_chunked:
+        print(f"chunks: {len(info.chunk_sizes)} x {info.chunk_size} bytes")
+        print(f"chunk table overhead: {info.container_overhead} bytes")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import os
+
+    if args.size_mb:
+        os.environ["REPRO_BENCH_MB"] = str(args.size_mb)
+    from repro.bench import run_all
+    from repro.model.report import experiments_markdown
+
+    md = experiments_markdown(run_all())
+    if args.output:
+        Path(args.output).write_text(md + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(md)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    if args.size_mb:
+        os.environ["REPRO_BENCH_MB"] = str(args.size_mb)
+    from repro.bench import (
+        format_figure4,
+        format_table,
+        run_all,
+        table1_rows,
+        table2_rows,
+        table3_rows,
+    )
+
+    datasets = args.datasets.split(",") if args.datasets else None
+    runs = run_all(datasets=datasets)
+    print(format_table(table1_rows(runs),
+                       "TABLE I: compression times (128 MB, modeled)"))
+    print()
+    print(format_table(table2_rows(runs), "TABLE II: compression ratios",
+                       percent=True))
+    print()
+    print(format_table(table3_rows(runs), "TABLE III: decompression times"))
+    print()
+    print(format_figure4(runs))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="culzss",
+        description="CULZSS reproduction: LZSS compression on simulated CUDA")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress a file")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--version", type=int, choices=(1, 2), default=2,
+                   help="CULZSS version (the API's version parameter)")
+    p.add_argument("--system", choices=("culzss-v1", "culzss-v2", "serial",
+                                        "pthread", "bzip2"),
+                   help="which evaluated system to use")
+    p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser("decompress", help="decompress a container file")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.set_defaults(func=_cmd_decompress)
+
+    p = sub.add_parser("info", help="describe a container file")
+    p.add_argument("input")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("report", help="emit the EXPERIMENTS.md comparison")
+    p.add_argument("--size-mb", type=float, default=None)
+    p.add_argument("--output", default=None, help="write to a file")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("bench", help="regenerate the paper's tables")
+    p.add_argument("--size-mb", type=float, default=None,
+                   help="benchmark input size in MiB (default 1)")
+    p.add_argument("--datasets", default=None,
+                   help="comma-separated dataset subset")
+    p.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

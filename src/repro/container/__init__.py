@@ -1,0 +1,24 @@
+"""Compressed-stream container: header + chunk-size table + payload.
+
+The paper's decompressor needs "a list of block compression sizes that
+are recorded during compression" (§III.C) to decode chunks in parallel;
+this package defines the byte format that carries it, plus integrity
+checksums.  Used identically by the in-memory API and the file I/O
+program.
+"""
+
+from repro.container.format import (
+    CONTAINER_MAGIC,
+    ContainerInfo,
+    HEADER_SIZE,
+    pack_container,
+    unpack_container,
+)
+
+__all__ = [
+    "CONTAINER_MAGIC",
+    "ContainerInfo",
+    "HEADER_SIZE",
+    "pack_container",
+    "unpack_container",
+]

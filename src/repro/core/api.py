@@ -1,0 +1,133 @@
+"""The in-memory compression API — the paper's Figure 2 interface.
+
+``Gpu_compress()`` "takes the given buffer pointer and copies it to the
+GPU, compresses it into the given memory region, and returns the
+calling process a pointer to the compressed data and its length.  The
+last parameters for the functions are compression parameters" — here a
+:class:`repro.core.params.CompressionParams` whose most important field
+is the CULZSS version selector (§V: pick V1 for highly-compressible
+data, V2 otherwise).
+
+The returned buffer is a self-describing container (header + chunk
+table + payload), so ``gpu_decompress`` needs nothing but the blob —
+the shape a network gateway pair needs ("the data looks the same going
+in as coming out", §III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.container import pack_container, unpack_container
+from repro.core.decompress import GpuDecompressor
+from repro.core.library import get_library
+from repro.core.params import CompressionParams
+from repro.core.v1 import V1Compressor
+from repro.core.v2 import V2Compressor
+from repro.gpusim.profiler import GpuProfile
+from repro.lzss.decoder import decode_chunked_with_stats
+from repro.lzss.encoder import EncodeResult
+from repro.model.calibration import Calibration, default_calibration
+from repro.model.cpu import sample_match_statistics
+from repro.util.buffers import as_bytes
+from repro.util.validation import require
+
+__all__ = ["CompressedBuffer", "DecompressResult", "gpu_compress", "gpu_decompress"]
+
+
+@dataclass
+class CompressedBuffer:
+    """What ``gpu_compress`` hands back.
+
+    ``data`` is the container blob (the "pointer to the compressed data
+    and its length"); ``result`` the raw encode artifacts; ``profile``
+    the modeled GTX-480 execution timeline of the run.
+    """
+
+    data: bytes
+    result: EncodeResult
+    profile: GpuProfile
+
+    @property
+    def compressed_size(self) -> int:
+        return len(self.data)
+
+    @property
+    def ratio(self) -> float:
+        """Container bytes / input bytes (smaller is better)."""
+        if self.result.input_size == 0:
+            return 1.0
+        return len(self.data) / self.result.input_size
+
+    @property
+    def modeled_seconds(self) -> float:
+        return self.profile.total_seconds
+
+
+@dataclass
+class DecompressResult:
+    """What ``gpu_decompress`` hands back."""
+
+    data: bytes
+    profile: GpuProfile
+
+    @property
+    def modeled_seconds(self) -> float:
+        return self.profile.total_seconds
+
+
+def _compressor_for(params: CompressionParams):
+    return V1Compressor(params) if params.version == 1 else V2Compressor(params)
+
+
+def gpu_compress(buffer, params: CompressionParams | None = None,
+                 calibration: Calibration | None = None) -> CompressedBuffer:
+    """In-memory compression on the (simulated) GPU.
+
+    Parameters mirror the paper's ``Gpu_compress(in, out, params)``:
+    the buffer may be ``bytes``/``bytearray``/``memoryview``/uint8
+    array; ``params`` selects the CULZSS version and tuning knobs.
+    """
+    params = params or get_library().default_params()
+    require(params.is_standard_format,
+            "containers require the standard 128-byte window; "
+            "use V1Compressor/V2Compressor directly for tuning sweeps")
+    cal = calibration or default_calibration()
+    data = as_bytes(buffer)
+    compressor = _compressor_for(params)
+    result = compressor.compress(data)
+    if result.input_size == 0:
+        return CompressedBuffer(data=pack_container(result), result=result,
+                                profile=GpuProfile())
+    if params.version == 1:
+        sample = sample_match_statistics(data)
+        profile = compressor.profile(result, cal, sample)
+    else:
+        profile = compressor.profile(result, cal)
+    return CompressedBuffer(data=pack_container(result), result=result,
+                            profile=profile)
+
+
+def gpu_decompress(blob, params: CompressionParams | None = None,
+                   calibration: Calibration | None = None) -> DecompressResult:
+    """In-memory decompression of a ``gpu_compress`` container."""
+    cal = calibration or default_calibration()
+    info = unpack_container(as_bytes(blob))
+    require(info.is_chunked, "CULZSS containers are always chunked")
+    params = params or get_library().default_params()
+    # The search window is irrelevant on the decode side; clamp it so
+    # containers with chunks smaller than the default window validate.
+    params = params.with_overrides(
+        chunk_size=info.chunk_size,
+        window=min(params.window, info.chunk_size))
+    out, per_chunk_tokens = decode_chunked_with_stats(
+        info.payload, info.format, info.chunk_sizes, info.chunk_size,
+        info.original_size)
+    if info.original_size == 0:
+        return DecompressResult(data=out, profile=GpuProfile())
+    decomp = GpuDecompressor(params)
+    profile = decomp.profile(per_chunk_tokens, len(info.payload),
+                             info.original_size, info.chunk_sizes, cal)
+    return DecompressResult(data=out, profile=profile)

@@ -1,0 +1,67 @@
+"""Shared cost-construction helpers for the CULZSS kernels.
+
+Both kernel cost models reduce exact per-position / per-chunk work
+arrays into per-warp lockstep maxima and per-block totals; the
+vectorized reductions live here so V1 and V2 stay readable.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.gpusim.memory import expected_random_conflict_degree
+
+__all__ = [
+    "per_block_sums",
+    "v1_conflict_degree",
+    "warp_max_sums",
+]
+
+
+def warp_max_sums(lane_values: np.ndarray, lanes_per_group: int,
+                  warp_size: int = 32) -> np.ndarray:
+    """Per-group sum of per-warp maxima.
+
+    ``lane_values`` is one value per lane, lanes grouped into
+    consecutive groups of ``lanes_per_group`` (a thread block's lanes,
+    or a chunk's positions).  Within each group, lanes form warps of
+    ``warp_size`` consecutive entries; each warp costs its max; the
+    group costs the sum of its warps.  Returns one value per group.
+
+    This is the vectorized form of
+    :func:`repro.gpusim.kernel.warp_lockstep_cycles` applied to many
+    groups at once.
+    """
+    vals = np.asarray(lane_values, dtype=np.float64)
+    if lanes_per_group % warp_size:
+        raise ValueError("lanes_per_group must be a multiple of warp_size")
+    pad = (-vals.size) % lanes_per_group
+    if pad:
+        vals = np.concatenate([vals, np.zeros(pad)])
+    n_groups = vals.size // lanes_per_group
+    per_warp = vals.reshape(-1, warp_size).max(axis=1)
+    warps_per_group = lanes_per_group // warp_size
+    return per_warp.reshape(n_groups, warps_per_group).sum(axis=1)
+
+
+def per_block_sums(values: np.ndarray, items_per_block: int) -> np.ndarray:
+    """Sum consecutive runs of ``items_per_block`` entries (zero-padded)."""
+    vals = np.asarray(values, dtype=np.float64)
+    pad = (-vals.size) % items_per_block
+    if pad:
+        vals = np.concatenate([vals, np.zeros(pad)])
+    return vals.reshape(-1, items_per_block).sum(axis=1)
+
+
+@lru_cache(maxsize=1)
+def v1_conflict_degree() -> float:
+    """Average shared-memory conflict degree of V1's drifting threads.
+
+    Cached because the deterministic Monte-Carlo estimate
+    (:func:`expected_random_conflict_degree`) costs a few milliseconds
+    and the value is a constant of the model (≈3.4 for 32 lanes / 32
+    banks).
+    """
+    return expected_random_conflict_degree()

@@ -1,0 +1,57 @@
+"""Library initialization and device detection.
+
+§III: "The library gets initialized when loaded, detects GPUs, and
+determines capabilities on the system."  In the simulator, "the
+system" always exposes the paper's GTX 480; the singleton records the
+detected devices and hands out default parameters, mirroring how the
+original dynamically-loaded library behaved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.params import CompressionParams
+from repro.gpusim.spec import DeviceSpec, detect_devices
+from repro.util.validation import require
+
+__all__ = ["CulzssLibrary", "get_library"]
+
+
+@dataclass
+class CulzssLibrary:
+    """Process-wide library state: detected devices and defaults."""
+
+    devices: list[DeviceSpec] = field(default_factory=detect_devices)
+
+    @property
+    def default_device(self) -> DeviceSpec:
+        require(len(self.devices) > 0, "no GPU devices detected")
+        return self.devices[0]
+
+    def default_params(self, version: int = 2) -> CompressionParams:
+        """Default parameters bound to the detected device."""
+        return CompressionParams(version=version, device=self.default_device)
+
+    def capabilities(self) -> dict[str, object]:
+        """Summary of what the detected hardware can do."""
+        dev = self.default_device
+        return {
+            "device": dev.name,
+            "sm_count": dev.sm_count,
+            "cuda_cores": dev.total_cores,
+            "shared_mem_per_sm": dev.shared_mem_per_sm,
+            "max_threads_per_block": dev.max_threads_per_block,
+            "versions": (1, 2),
+        }
+
+
+_LIBRARY: CulzssLibrary | None = None
+
+
+def get_library() -> CulzssLibrary:
+    """The lazily-created library singleton ("initialized when loaded")."""
+    global _LIBRARY
+    if _LIBRARY is None:
+        _LIBRARY = CulzssLibrary()
+    return _LIBRARY

@@ -1,0 +1,12 @@
+"""CPU reference implementations: the serial and Pthread-style coders.
+
+These are the paper's two CPU baselines as *runnable systems* (the
+timing models in :mod:`repro.model` price them for the 2011 testbed;
+these drivers actually compress bytes on this machine — the Pthread
+analogue with a real thread pool).
+"""
+
+from repro.cpu.serial import SerialLzss
+from repro.cpu.threads import PthreadLzss
+
+__all__ = ["PthreadLzss", "SerialLzss"]

@@ -1,0 +1,104 @@
+"""Pthread-style chunked LZSS — the paper's threaded CPU baseline.
+
+§III.A: "Each thread is given with some chunk of the file and the
+chunks are compressed concurrently.  After each thread compresses the
+given data, individual compressed chunks are reassembled to form the
+final output."  Here the chunks run on a real thread pool (the
+vectorized encoder releases the GIL inside NumPy, so threads genuinely
+overlap), and the reassembly is the container's chunk table.
+
+The *timing model* for the 2011 testbed lives in
+:class:`repro.model.cpu.PthreadModel`; this class is the functional
+system.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.lzss.decoder import decode
+from repro.lzss.encoder import EncodeResult, encode
+from repro.lzss.formats import SERIAL, TokenFormat
+from repro.lzss.stats import EncodeStats
+from repro.util.buffers import as_u8
+from repro.util.validation import require, require_range
+
+__all__ = ["PthreadLzss"]
+
+#: The paper's testbed runs 8 hardware threads (i7 920, 4C/8T).
+DEFAULT_THREADS = 8
+
+
+class PthreadLzss:
+    """Chunk-parallel LZSS over a thread pool (PBZIP2-style)."""
+
+    def __init__(self, n_threads: int | None = None,
+                 fmt: TokenFormat = SERIAL, max_chain: int = 64,
+                 parse: str = "greedy") -> None:
+        if n_threads is None:
+            n_threads = min(DEFAULT_THREADS, os.cpu_count() or 1)
+        self.n_threads = n_threads
+        require_range(self.n_threads, 1, 1024, "n_threads")
+        self.format = fmt
+        self.max_chain = max_chain
+        self.parse = parse
+
+    def _chunk_bounds(self, n: int) -> list[tuple[int, int]]:
+        """Even split into one chunk per thread (the paper's division)."""
+        per = -(-n // self.n_threads)
+        return [(lo, min(lo + per, n)) for lo in range(0, n, per)]
+
+    def compress(self, data) -> EncodeResult:
+        """Compress chunks concurrently; reassemble into one result."""
+        arr = as_u8(data)
+        n = arr.size
+        if n == 0:
+            return encode(b"", self.format)
+        bounds = self._chunk_bounds(n)
+
+        def work(piece: np.ndarray) -> EncodeResult:
+            return encode(piece, self.format, max_chain=self.max_chain,
+                          parse=self.parse)
+
+        with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
+            results = list(pool.map(work, (arr[lo:hi] for lo, hi in bounds)))
+
+        payload = b"".join(r.payload for r in results)
+        chunk_sizes = np.array([len(r.payload) for r in results],
+                               dtype=np.int64)
+        stats: EncodeStats = results[0].stats
+        for r in results[1:]:
+            stats = stats.merged_with(r.stats)
+        stats.output_size = len(payload)
+        return EncodeResult(payload=payload, format=self.format,
+                            input_size=n, chunk_sizes=chunk_sizes,
+                            chunk_size=bounds[0][1] - bounds[0][0],
+                            stats=stats)
+
+    def decompress(self, result_or_payload, chunk_sizes=None,
+                   chunk_size: int | None = None,
+                   output_size: int | None = None) -> bytes:
+        """Decompress (concurrently) what :meth:`compress` produced."""
+        if isinstance(result_or_payload, EncodeResult):
+            res = result_or_payload
+            payload, chunk_sizes = res.payload, res.chunk_sizes
+            chunk_size, output_size = res.chunk_size, res.input_size
+        else:
+            payload = result_or_payload
+            require(chunk_sizes is not None and chunk_size is not None
+                    and output_size is not None,
+                    "payload decompression needs chunk_sizes/chunk_size/size")
+        offsets = np.concatenate([[0], np.cumsum(chunk_sizes)])
+        arr = as_u8(payload)
+
+        def work(c: int) -> bytes:
+            lo = c * chunk_size
+            hi = min(lo + chunk_size, output_size)
+            return decode(arr[offsets[c]:offsets[c + 1]], self.format, hi - lo)
+
+        with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
+            pieces = list(pool.map(work, range(len(chunk_sizes))))
+        return b"".join(pieces)

@@ -1,0 +1,22 @@
+"""Synthetic stand-ins for the paper's five 128 MB datasets (§IV.B).
+
+The originals (a C-file corpus, USGS Delaware DRG/DLG map data, an
+English dictionary, a Linux kernel tarball slice, and a custom
+highly-compressible file) are not redistributable or not pinned; these
+generators produce deterministic data with the same *match-statistics
+character* — what LZSS-family behaviour actually depends on — tuned so
+the serial-LZSS ratio column of Table II lands close to the paper's.
+Everything else (the other systems' ratios and every timing) is then a
+prediction, not a tuning target.
+"""
+
+from repro.datasets.base import DatasetSpec, available_datasets, generate, get_spec
+from repro.datasets.registry import REGISTRY
+
+__all__ = [
+    "DatasetSpec",
+    "REGISTRY",
+    "available_datasets",
+    "generate",
+    "get_spec",
+]

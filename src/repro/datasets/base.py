@@ -1,0 +1,56 @@
+"""Dataset registry plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.util.validation import require, require_range
+
+__all__ = ["DatasetSpec", "available_datasets", "generate", "get_spec"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One synthetic dataset: a deterministic ``generate(size, seed)``.
+
+    ``paper_serial_ratio`` is the Table II serial-LZSS cell the
+    generator was tuned toward (the only tuning target; see package
+    docs).
+    """
+
+    name: str
+    title: str
+    description: str
+    generator: Callable[[int, int], bytes]
+    default_seed: int
+    paper_serial_ratio: float
+
+    def generate(self, size: int, seed: int | None = None) -> bytes:
+        require_range(size, 0, 1 << 31, "size")
+        data = self.generator(size, self.default_seed if seed is None else seed)
+        require(len(data) == size, f"{self.name} generator produced "
+                f"{len(data)} bytes, wanted {size}")
+        return data
+
+
+def _registry() -> dict[str, DatasetSpec]:
+    from repro.datasets.registry import REGISTRY
+
+    return REGISTRY
+
+
+def available_datasets() -> list[str]:
+    """Registered dataset names, in the paper's table order."""
+    return list(_registry())
+
+
+def get_spec(name: str) -> DatasetSpec:
+    reg = _registry()
+    require(name in reg, f"unknown dataset {name!r}; known: {list(reg)}")
+    return reg[name]
+
+
+def generate(name: str, size: int, seed: int | None = None) -> bytes:
+    """Generate ``size`` bytes of the named dataset."""
+    return get_spec(name).generate(size, seed)

@@ -1,0 +1,75 @@
+"""Synthetic English-dictionary data — sorted, non-repeating word list.
+
+"It is chosen for none repeating text, since it is a list of
+alphabetically ordered not repeating words" (§IV.B).  The generator
+builds morphologically plausible words (onset–vowel–coda syllables,
+common suffixes), sorts and deduplicates them, one per line — so the
+only redundancy is the prefix sharing between alphabetic neighbours,
+exactly the structure that puts this dataset at the bottom of every
+compressor's table (61.4 % serial)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["generate_dictionary"]
+
+_ONSETS = ["b", "bl", "br", "c", "ch", "cl", "cr", "d", "dr", "dw", "f",
+           "fl", "fr", "g", "gl", "gn", "gr", "h", "j", "k", "kl", "kn",
+           "l", "m", "n", "p", "ph", "pl", "pr", "ps", "qu", "r", "rh",
+           "s", "sc", "scr", "sh", "shr", "sk", "sl", "sm", "sn", "sp",
+           "spl", "spr", "squ", "st", "str", "sw", "t", "th", "thr", "tr",
+           "tw", "v", "w", "wh", "wr", "x", "y", "z"]
+_VOWELS = ["a", "e", "i", "o", "u", "y", "ai", "au", "aw", "ay", "ea",
+           "ee", "ei", "eu", "ew", "ey", "ia", "ie", "io", "oa", "oe",
+           "oi", "oo", "ou", "ow", "oy", "ua", "ue", "ui", "uo"]
+_CODAS = ["", "b", "bs", "c", "ck", "ct", "d", "dge", "ds", "f", "ft",
+          "g", "gh", "ght", "k", "l", "lb", "ld", "lf", "lk", "ll", "lm",
+          "lp", "lt", "m", "mb", "mp", "n", "nce", "nch", "nd", "ng",
+          "nk", "nt", "p", "pt", "r", "rb", "rc", "rd", "rf", "rg", "rk",
+          "rl", "rm", "rn", "rp", "rst", "rt", "s", "sk", "sm", "sp",
+          "ss", "st", "t", "tch", "th", "v", "w", "x", "z", "zz"]
+_SUFFIXES = ["", "", "", "s", "ed", "ing", "er", "est", "ly", "ness",
+             "ment", "tion", "able", "ive", "ous", "ful", "less", "ish",
+             "ward", "dom", "ery", "ism", "ist", "ity", "ize", "hood"]
+
+
+def _make_words(rng: np.random.Generator, count: int) -> list[bytes]:
+    n_on, n_vo, n_co, n_su = len(_ONSETS), len(_VOWELS), len(_CODAS), len(_SUFFIXES)
+    syllables = rng.integers(2, 4, size=count)
+    words = []
+    for syl in syllables:
+        parts = []
+        for _ in range(int(syl)):
+            parts.append(_ONSETS[int(rng.integers(n_on))])
+            parts.append(_VOWELS[int(rng.integers(n_vo))])
+            parts.append(_CODAS[int(rng.integers(n_co))])
+        stem = "".join(parts).encode()
+        words.append(stem)
+        # Word families: a stem is often followed alphabetically by its
+        # inflected forms (abandon, abandoned, abandonment …) — the
+        # adjacent-entry redundancy that dominates dictionary LZSS.
+        if rng.random() < 0.10:
+            k = int(rng.integers(1, 4))
+            picks = rng.choice(n_su, size=k, replace=False)
+            for p in sorted(picks):
+                if _SUFFIXES[int(p)]:
+                    words.append(stem + _SUFFIXES[int(p)].encode())
+    return words
+
+
+def generate_dictionary(size: int, seed: int) -> bytes:
+    rng = np.random.default_rng(seed)
+    out = bytearray()
+    # Average word line ≈ 9 bytes; generate in batches, sorted globally
+    # by generating per leading-letter groups the way a real dictionary
+    # reads (the whole output is produced in sorted order).
+    approx_words = size // 8 + 1024
+    words = sorted(set(_make_words(rng, approx_words)))
+    body = b"\n".join(words) + b"\n"
+    while len(out) < size:
+        out.extend(body)
+        if len(out) < size:  # need more unique material, extend the list
+            extra = sorted(set(_make_words(rng, approx_words)))
+            body = b"\n".join(extra) + b"\n"
+    return bytes(out[:size])

@@ -1,0 +1,31 @@
+"""The paper's custom highly-compressible dataset.
+
+"It contains repeating characters in substrings of 20.  It is chosen
+to see how well our program can run given the opportunity to compress
+in an optimal data for LZSS" (§IV.B): 20-byte patterns, each repeated
+many times before switching to the next pattern.  The repeat count is
+geometric (mean ≈ 60 repetitions ⇒ pattern blocks ≈ 1.2 KB), which
+lands the serial ratio at Table II's 13.5 % — the serial coder pays
+one 17-bit token per 18 bytes inside a block plus 20 literals per
+switch — while V2's 258-byte matches halve that, exactly the Table II
+relationship (13.5 % vs 6.3 %)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["generate_highly_compressible"]
+
+_PATTERN_LEN = 20
+_MEAN_REPEATS = 60
+
+
+def generate_highly_compressible(size: int, seed: int) -> bytes:
+    rng = np.random.default_rng(seed)
+    out = bytearray()
+    while len(out) < size:
+        pattern = rng.integers(ord("a"), ord("z") + 1, _PATTERN_LEN,
+                               dtype=np.uint8).tobytes()
+        repeats = int(rng.geometric(1.0 / _MEAN_REPEATS))
+        out.extend(pattern * repeats)
+    return bytes(out[:size])

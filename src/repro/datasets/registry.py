@@ -1,0 +1,55 @@
+"""The five datasets, in the paper's table order."""
+
+from __future__ import annotations
+
+from repro.datasets.base import DatasetSpec
+from repro.datasets.cfiles import generate_cfiles
+from repro.datasets.demap import generate_demap
+from repro.datasets.dictionary import generate_dictionary
+from repro.datasets.highly_compressible import generate_highly_compressible
+from repro.datasets.kernel_tarball import generate_kernel_tarball
+
+__all__ = ["REGISTRY"]
+
+REGISTRY = {
+    "cfiles": DatasetSpec(
+        name="cfiles",
+        title="C files",
+        description="Synthetic C source corpus (text-based input)",
+        generator=generate_cfiles,
+        default_seed=0xC0DE01,
+        paper_serial_ratio=0.548,
+    ),
+    "demap": DatasetSpec(
+        name="demap",
+        title="DE Map",
+        description="USGS DRG/DLG-style raster scanlines + vector records",
+        generator=generate_demap,
+        default_seed=0xC0DE02,
+        paper_serial_ratio=0.339,
+    ),
+    "dictionary": DatasetSpec(
+        name="dictionary",
+        title="Dictionary",
+        description="Alphabetically ordered non-repeating word list",
+        generator=generate_dictionary,
+        default_seed=0xC0DE03,
+        paper_serial_ratio=0.614,
+    ),
+    "kernel_tarball": DatasetSpec(
+        name="kernel_tarball",
+        title="Kernel tarball",
+        description="ustar-framed synthetic kernel source tree slice",
+        generator=generate_kernel_tarball,
+        default_seed=0xC0DE04,
+        paper_serial_ratio=0.551,
+    ),
+    "highly_compressible": DatasetSpec(
+        name="highly_compressible",
+        title="Highly Compr.",
+        description="Repeating 20-byte patterns (LZSS-optimal custom data)",
+        generator=generate_highly_compressible,
+        default_seed=0xC0DE05,
+        paper_serial_ratio=0.135,
+    ),
+}

@@ -1,0 +1,55 @@
+"""Fermi-class GPU execution/timing simulator.
+
+The paper's testbed is a GeForce GTX 480 running CUDA 3.2.  This
+package is the substitution substrate for that hardware: a statistics-
+level simulator that takes *exact per-thread work counts* (byte
+comparisons, buffer traffic) from the functional CULZSS kernels and
+turns them into modeled kernel times using the documented Fermi
+microarchitecture quantities — SM/warp geometry, lockstep warp
+execution (warp time = max over lanes), 128-byte coalesced global
+transactions, 32-bank shared memory with conflict serialization,
+occupancy-limited block residency, and PCIe transfer costs.
+
+It is *not* a cycle-accurate simulator: it is the minimal model in
+which the paper's performance effects (§III.D, §V) are first-class:
+
+* coalesced vs. scattered global access (V2 vs. V1 loads);
+* shared-memory bank conflicts (V1's per-thread buffer stride vs.
+  V2's staggered offsets);
+* warp divergence (V1's variable per-chunk token counts);
+* occupancy collapse when per-block shared buffers exceed 16 KB
+  (the >128-threads/block and >128-byte-window regressions);
+* host↔device transfer overhead and CPU/GPU overlap.
+"""
+
+from repro.gpusim.kernel import BlockCost, KernelLaunch, launch_kernel
+from repro.gpusim.memory import (
+    bank_conflict_degree,
+    coalesced_transactions,
+    expected_random_conflict_degree,
+)
+from repro.gpusim.multi import MultiGpuRun, simulate_multi_gpu
+from repro.gpusim.profiler import GpuProfile, PhaseTime
+from repro.gpusim.scheduler import Occupancy, occupancy
+from repro.gpusim.spec import FERMI_GTX480, DeviceSpec, detect_devices
+from repro.gpusim.timing import KernelTiming, transfer_time
+
+__all__ = [
+    "BlockCost",
+    "DeviceSpec",
+    "FERMI_GTX480",
+    "GpuProfile",
+    "KernelLaunch",
+    "KernelTiming",
+    "MultiGpuRun",
+    "Occupancy",
+    "PhaseTime",
+    "bank_conflict_degree",
+    "coalesced_transactions",
+    "detect_devices",
+    "expected_random_conflict_degree",
+    "launch_kernel",
+    "occupancy",
+    "simulate_multi_gpu",
+    "transfer_time",
+]

@@ -1,0 +1,122 @@
+"""Kernel launch simulation: per-block work → modeled kernel time.
+
+A functional kernel (e.g. the CULZSS matchers) reports what each block
+*did* as a :class:`BlockCost`: lockstep-aggregated compute cycles,
+shared-memory accesses with their conflict degree, and global-memory
+transactions/bytes.  :func:`launch_kernel` folds those into cycles via
+the occupancy and scheduling models and converts to seconds on the
+device clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.scheduler import (
+    Occupancy,
+    latency_hiding_factor,
+    occupancy,
+    schedule_blocks,
+)
+from repro.gpusim.spec import DeviceSpec
+from repro.gpusim.timing import KernelTiming
+from repro.util.validation import require
+
+__all__ = ["BlockCost", "KernelLaunch", "launch_kernel", "warp_lockstep_cycles"]
+
+
+def warp_lockstep_cycles(lane_cycles: np.ndarray, warp_size: int) -> float:
+    """Total cycles of warps executing lanes in lockstep.
+
+    ``lane_cycles`` holds each lane's individual work; lanes are grouped
+    into warps of ``warp_size`` consecutive entries, and every warp
+    costs the *maximum* over its lanes (divergent lanes idle, they do
+    not help).  This single line is where warp divergence enters the
+    model.
+    """
+    lanes = np.asarray(lane_cycles, dtype=np.float64)
+    if lanes.size == 0:
+        return 0.0
+    pad = (-lanes.size) % warp_size
+    if pad:
+        lanes = np.concatenate([lanes, np.zeros(pad)])
+    return float(lanes.reshape(-1, warp_size).max(axis=1).sum())
+
+
+@dataclass
+class BlockCost:
+    """What one thread block did, in hardware-visible units.
+
+    ``compute_cycles`` must already be warp-lockstep aggregated (use
+    :func:`warp_lockstep_cycles`).  ``shared_accesses`` are individual
+    warp accesses; they serialize by ``bank_conflict_degree``.
+    ``global_transactions`` are 128-byte transactions; their latency is
+    partially hidden according to occupancy.
+    """
+
+    compute_cycles: float
+    shared_accesses: float = 0.0
+    bank_conflict_degree: float = 1.0
+    global_transactions: float = 0.0
+    global_bytes: float = 0.0
+    #: Extra memory-pipe cycles charged as-is (e.g. L1-cached global
+    #: buffer traffic in the shared-memory ablation); unlike compute
+    #: these do not benefit from dual-issue.
+    memory_cycles: float = 0.0
+
+
+@dataclass
+class KernelLaunch:
+    """A grid of blocks plus the resources each block claims."""
+
+    name: str
+    threads_per_block: int
+    shared_mem_per_block: int
+    blocks: list[BlockCost]
+
+
+def launch_kernel(spec: DeviceSpec, launch: KernelLaunch) -> KernelTiming:
+    """Simulate one kernel launch and return its modeled timing."""
+    require(len(launch.blocks) > 0, "empty grid")
+    occ: Occupancy = occupancy(spec, launch.threads_per_block,
+                               launch.shared_mem_per_block)
+    require(occ.launchable,
+            f"kernel {launch.name}: block needs {launch.shared_mem_per_block} B "
+            f"shared, SM has {spec.shared_mem_per_sm} B")
+    exposed = latency_hiding_factor(spec, occ)
+
+    compute = np.array([b.compute_cycles for b in launch.blocks])
+    shared = np.array([b.shared_accesses * b.bank_conflict_degree
+                       * spec.shared_latency_cycles for b in launch.blocks])
+    memory = np.array([b.memory_cycles for b in launch.blocks])
+    glob = np.array([b.global_transactions for b in launch.blocks])
+    global_stall = glob * spec.global_latency_cycles * exposed
+    # Warp schedulers issue independent warps back-to-back: an SM with
+    # two schedulers retires two warps' instructions per cycle pair, so
+    # compute throughput divides by the scheduler count.
+    block_cycles = (compute / spec.warp_schedulers_per_sm
+                    + shared + memory + global_stall)
+
+    bytes_moved = float(sum(b.global_bytes for b in launch.blocks))
+    sched = schedule_blocks(spec, block_cycles, bytes_moved, occ)
+    seconds = (sched["cycles"] / spec.core_clock_hz
+               + spec.kernel_launch_latency_s)
+    return KernelTiming(
+        name=launch.name,
+        cycles=sched["cycles"],
+        seconds=seconds,
+        breakdown={
+            "compute_cycles": float((compute / spec.warp_schedulers_per_sm).sum()),
+            "shared_cycles": float(shared.sum()),
+            "memory_cycles": float(memory.sum()),
+            "global_stall_cycles": float(global_stall.sum()),
+            "sm_cycles": sched["sm_cycles"],
+            "bandwidth_cycles": sched["bandwidth_cycles"],
+            "dispatch_cycles": sched["dispatch_cycles"],
+            "resident_blocks": float(occ.resident_blocks),
+            "resident_warps": float(occ.resident_warps),
+            "exposed_latency_fraction": exposed,
+        },
+    )

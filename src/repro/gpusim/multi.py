@@ -1,0 +1,62 @@
+"""Multi-GPU splitting — the paper's §VII negative result.
+
+"Although we could not receive any gains in our attempt to use multiple
+GPUs in a distributed fashion on a machine … we suspect the division of
+the GPUs by threads introduced thread overhead."
+
+The model captures exactly the two effects that produce that outcome on
+a 2011 workstation: (a) all devices share one PCIe root, so transfers
+serialize; (b) each device needs a dedicated host driver thread whose
+creation/synchronization overhead is charged per device.  Kernel time
+divides across devices; transfer time and thread overhead do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.spec import DeviceSpec
+from repro.util.validation import require_range
+
+__all__ = ["MultiGpuRun", "simulate_multi_gpu"]
+
+#: Host-thread creation + per-chunk synchronization cost per device per
+#: dispatched buffer; the magnitude of pthread create/join plus CUDA
+#: context switching on 2011-era drivers.
+HOST_THREAD_OVERHEAD_S = 2.0e-3
+
+
+@dataclass
+class MultiGpuRun:
+    """Modeled end-to-end time of an input split over ``devices`` GPUs."""
+
+    devices: int
+    kernel_seconds: float
+    transfer_seconds: float
+    thread_overhead_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.kernel_seconds + self.transfer_seconds
+                + self.thread_overhead_seconds)
+
+
+def simulate_multi_gpu(spec: DeviceSpec, single_device_kernel_s: float,
+                       single_device_transfer_s: float, devices: int,
+                       dispatches_per_device: int = 1) -> MultiGpuRun:
+    """Split a run whose 1-GPU kernel/transfer times are known.
+
+    Kernel work is perfectly divisible (chunks are independent);
+    transfers share one PCIe link and therefore do not shrink; every
+    device adds host-thread overhead per dispatched buffer.
+    """
+    require_range(devices, 1, 64, "devices")
+    require_range(dispatches_per_device, 1, 1 << 20, "dispatches_per_device")
+    overhead = (0.0 if devices == 1
+                else devices * dispatches_per_device * HOST_THREAD_OVERHEAD_S)
+    return MultiGpuRun(
+        devices=devices,
+        kernel_seconds=single_device_kernel_s / devices,
+        transfer_seconds=single_device_transfer_s,
+        thread_overhead_seconds=overhead,
+    )

@@ -1,0 +1,65 @@
+"""Phase-level profile of a simulated GPU pipeline run.
+
+A CULZSS run is a sequence of phases — H2D copy, kernel(s), D2H copy,
+CPU post-processing — some of which may overlap (§III.B.3: the V2
+fixup "brings an opportunity for CPU-GPU computation overlap").  The
+profile records each phase, whether it overlapped, and produces the
+end-to-end time plus a human-readable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["GpuProfile", "PhaseTime"]
+
+
+@dataclass
+class PhaseTime:
+    """One named phase with its modeled duration in seconds."""
+
+    name: str
+    seconds: float
+    overlapped_with: str | None = None
+
+
+@dataclass
+class GpuProfile:
+    """Accumulates pipeline phases and computes the end-to-end time.
+
+    Phases added with ``overlap_with`` contribute only the amount by
+    which they exceed the phase they hide behind — the standard
+    software-pipelining approximation (steady state dominated by the
+    slower stage; the one-iteration fill cost is charged by the caller
+    where it matters).
+    """
+
+    phases: list[PhaseTime] = field(default_factory=list)
+
+    def add(self, name: str, seconds: float,
+            overlap_with: str | None = None) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative phase time for {name}")
+        self.phases.append(PhaseTime(name, seconds, overlap_with))
+
+    def phase_seconds(self, name: str) -> float:
+        return sum(p.seconds for p in self.phases if p.name == name)
+
+    @property
+    def total_seconds(self) -> float:
+        total = 0.0
+        for phase in self.phases:
+            if phase.overlapped_with is None:
+                total += phase.seconds
+            else:
+                hidden_behind = self.phase_seconds(phase.overlapped_with)
+                total += max(0.0, phase.seconds - hidden_behind)
+        return total
+
+    def report(self) -> str:
+        lines = [f"{'phase':<28} {'seconds':>12}  overlap"]
+        for p in self.phases:
+            note = f"(hidden behind {p.overlapped_with})" if p.overlapped_with else ""
+            lines.append(f"{p.name:<28} {p.seconds:>12.6f}  {note}")
+        lines.append(f"{'TOTAL':<28} {self.total_seconds:>12.6f}")
+        return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Occupancy and SM-level block scheduling.
+
+Occupancy follows the CUDA occupancy-calculator rules restricted to the
+two resources that matter for CULZSS: threads and shared memory (the
+kernels use few registers).  The scheduler distributes blocks round-
+robin over SMs and charges each SM the sum of its blocks' cycles plus a
+fixed dispatch cost per block; the kernel's cycle count is the maximum
+over SMs (the straggler SM ends the kernel), floored by the global-
+bandwidth time for the bytes the kernel moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.spec import DeviceSpec
+from repro.util.validation import require, require_range
+
+__all__ = ["Occupancy", "occupancy", "schedule_blocks"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Resident blocks/warps per SM and which resource limited them."""
+
+    resident_blocks: int
+    resident_warps: int
+    limiter: str
+
+    @property
+    def launchable(self) -> bool:
+        return self.resident_blocks >= 1
+
+
+def occupancy(spec: DeviceSpec, threads_per_block: int,
+              shared_per_block: int) -> Occupancy:
+    """How many blocks of this shape fit on one SM simultaneously."""
+    require_range(threads_per_block, 1, spec.max_threads_per_block,
+                  "threads_per_block")
+    require_range(shared_per_block, 0, 1 << 30, "shared_per_block")
+    if shared_per_block > spec.shared_mem_per_sm:
+        return Occupancy(0, 0, "shared memory (block does not fit)")
+
+    by_threads = spec.max_threads_per_sm // threads_per_block
+    by_shared = (spec.shared_mem_per_sm // shared_per_block
+                 if shared_per_block else spec.max_blocks_per_sm)
+    by_blocks = spec.max_blocks_per_sm
+    resident = min(by_threads, by_shared, by_blocks)
+    limiter = {by_threads: "threads", by_shared: "shared memory",
+               by_blocks: "max blocks"}[resident]
+    warps_per_block = -(-threads_per_block // spec.warp_size)
+    return Occupancy(resident, resident * warps_per_block, limiter)
+
+
+def latency_hiding_factor(spec: DeviceSpec, occ: Occupancy) -> float:
+    """Fraction of global latency hidden by resident-warp switching.
+
+    With ``w`` resident warps each keeping ``memory_parallelism_per_warp``
+    loads in flight, an SM overlaps ``w·mlp`` outstanding accesses; full
+    hiding needs roughly ``global_latency / shared_latency`` of them.
+    The factor scales the *exposed* (unhidden) latency: 1.0 means
+    nothing hidden, → 0 fully hidden.
+    """
+    if occ.resident_warps <= 0:
+        return 1.0
+    needed = spec.global_latency_cycles / max(spec.shared_latency_cycles, 1.0)
+    outstanding = occ.resident_warps * spec.memory_parallelism_per_warp
+    hidden = min(1.0, outstanding / needed)
+    return 1.0 - hidden * 0.95  # conservatively never hide the last 5 %
+
+
+def schedule_blocks(spec: DeviceSpec, block_cycles: np.ndarray,
+                    bytes_moved: float, occ: Occupancy) -> dict[str, float]:
+    """Distribute per-block cycle costs over SMs.
+
+    Returns a breakdown dict with the kernel's total cycles and the
+    compute/bandwidth components.  ``block_cycles`` already includes
+    each block's memory-stall cycles; this stage adds dispatch overhead
+    and the bandwidth floor.
+    """
+    require(occ.launchable, "launch config does not fit on an SM")
+    cycles = np.asarray(block_cycles, dtype=np.float64)
+    n_blocks = cycles.size
+    if n_blocks == 0:
+        return {"cycles": 0.0, "sm_cycles": 0.0, "bandwidth_cycles": 0.0,
+                "dispatch_cycles": 0.0}
+
+    per_block = cycles + spec.block_dispatch_cycles
+    # Round-robin assignment: SM s gets blocks s, s+S, s+2S, …  With
+    # thousands of blocks this is indistinguishable from dynamic
+    # scheduling; with few blocks it exposes the tail effect correctly.
+    sm_loads = np.zeros(spec.sm_count, dtype=np.float64)
+    assign = np.arange(n_blocks) % spec.sm_count
+    np.add.at(sm_loads, assign, per_block)
+    # Resident blocks overlap each other's stalls within an SM; the
+    # benefit is already inside block_cycles via latency_hiding_factor.
+    sm_cycles = float(sm_loads.max())
+
+    bandwidth_cycles = (bytes_moved / spec.global_bandwidth_bps
+                        ) * spec.core_clock_hz
+    total = max(sm_cycles, bandwidth_cycles)
+    return {
+        "cycles": total,
+        "sm_cycles": sm_cycles,
+        "bandwidth_cycles": bandwidth_cycles,
+        "dispatch_cycles": float(spec.block_dispatch_cycles * n_blocks),
+    }

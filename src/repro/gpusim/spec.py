@@ -1,0 +1,127 @@
+"""Device specifications.
+
+``FERMI_GTX480`` pins the paper's testbed card from its published spec
+sheet; nothing in it is fitted to the paper's results.  A couple of
+neighbouring parts are included so sweeps can ask "what would this have
+looked like on other hardware" — a question the paper's §VII raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.validation import require_range
+
+__all__ = [
+    "DeviceSpec",
+    "FERMI_GTX480",
+    "FERMI_C2050",
+    "TESLA_GTX280",
+    "detect_devices",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Microarchitectural quantities the timing model consumes.
+
+    Clocks and counts come from vendor spec sheets; latencies are the
+    standard published microbenchmark figures for the generation
+    (≈400-cycle global latency, ≈2-cycle conflict-free shared access on
+    Fermi).
+    """
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    core_clock_hz: float
+    warp_size: int = 32
+    warp_schedulers_per_sm: int = 2
+    max_threads_per_block: int = 1024
+    max_threads_per_sm: int = 1536
+    max_blocks_per_sm: int = 8
+    #: Paper §V: "There is a 16KB shared memory space for all the
+    #: threads in a block" — the 16 KB shared / 48 KB L1 Fermi split.
+    shared_mem_per_sm: int = 16 * 1024
+    shared_banks: int = 32
+    shared_latency_cycles: float = 2.0
+    global_latency_cycles: float = 400.0
+    #: Outstanding global loads one warp keeps in flight (Fermi issues
+    #: independent loads past pending misses); scales latency hiding.
+    memory_parallelism_per_warp: float = 4.0
+    transaction_bytes: int = 128
+    global_bandwidth_bps: float = 177.4e9
+    pcie_bandwidth_bps: float = 5.5e9  # effective PCIe 2.0 x16
+    pcie_latency_s: float = 10e-6
+    #: Fixed cost of dispatching one thread block (scheduling, launch
+    #: bookkeeping) — the term that punishes very small blocks in the
+    #: threads-per-block sweep.
+    block_dispatch_cycles: float = 600.0
+    kernel_launch_latency_s: float = 7e-6
+
+    def __post_init__(self) -> None:
+        require_range(self.sm_count, 1, 1024, "sm_count")
+        require_range(self.warp_size, 1, 128, "warp_size")
+        require_range(self.cores_per_sm, 1, 4096, "cores_per_sm")
+
+    @property
+    def total_cores(self) -> int:
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    def with_shared_mem(self, nbytes: int) -> "DeviceSpec":
+        """Variant with a different shared-memory configuration."""
+        return replace(self, shared_mem_per_sm=nbytes)
+
+
+#: The paper's card: 15 SMs × 32 cores @ 1401 MHz shader clock.
+FERMI_GTX480 = DeviceSpec(
+    name="GeForce GTX 480",
+    sm_count=15,
+    cores_per_sm=32,
+    core_clock_hz=1.401e9,
+)
+
+#: Same generation, ECC-class part — for cross-device sweeps.
+FERMI_C2050 = DeviceSpec(
+    name="Tesla C2050",
+    sm_count=14,
+    cores_per_sm=32,
+    core_clock_hz=1.15e9,
+    global_bandwidth_bps=144e9,
+)
+
+#: Previous generation (pre-Fermi): smaller shared memory, narrower SMs.
+TESLA_GTX280 = DeviceSpec(
+    name="GeForce GTX 280",
+    sm_count=30,
+    cores_per_sm=8,
+    core_clock_hz=1.296e9,
+    max_threads_per_sm=1024,
+    shared_mem_per_sm=16 * 1024,
+    global_bandwidth_bps=141.7e9,
+    warp_schedulers_per_sm=1,
+)
+
+_REGISTRY = {spec.name: spec for spec in (FERMI_GTX480, FERMI_C2050, TESLA_GTX280)}
+
+
+def detect_devices() -> list[DeviceSpec]:
+    """The simulator's analogue of the library-load device scan (§III).
+
+    The paper's library "gets initialized when loaded, detects GPUs,
+    and determines capabilities"; in the simulator the machine always
+    exposes the paper's testbed card.
+    """
+    return [FERMI_GTX480]
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {name!r}; known: {sorted(_REGISTRY)}") from None

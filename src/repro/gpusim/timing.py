@@ -1,0 +1,41 @@
+"""Cycle→seconds conversion and host↔device transfer costs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.spec import DeviceSpec
+from repro.util.validation import require_range
+
+__all__ = ["KernelTiming", "transfer_time"]
+
+
+@dataclass
+class KernelTiming:
+    """Result of one simulated kernel launch."""
+
+    name: str
+    cycles: float
+    seconds: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    def scaled(self, factor: float) -> "KernelTiming":
+        """Same kernel on ``factor``× the data (linear work scaling)."""
+        return KernelTiming(
+            name=self.name,
+            cycles=self.cycles * factor,
+            seconds=self.seconds * factor,
+            breakdown={k: v * factor for k, v in self.breakdown.items()},
+        )
+
+
+def transfer_time(spec: DeviceSpec, nbytes: int | float) -> float:
+    """PCIe host↔device copy time: latency + bytes/bandwidth.
+
+    The paper's in-memory API pays this on both sides of every kernel
+    ("the memory needs to be explicitly copied to the GPU memory").
+    """
+    require_range(nbytes, 0, float("inf"), "nbytes")
+    if nbytes == 0:
+        return 0.0
+    return spec.pcie_latency_s + nbytes / spec.pcie_bandwidth_bps

@@ -1,0 +1,155 @@
+"""Fast vectorized LZSS decoder.
+
+Decoding a flag-prefixed bit stream looks irreducibly sequential —
+token boundaries depend on every previous flag, and back-references
+copy bytes the decode itself produces.  Both dependencies vectorize:
+
+* **Token scan**: the next-token jump ``p → p + 9`` (literal) or
+  ``p → p + pair_bits`` (pair) is known for *every* bit position up
+  front, so the token-start chain is the same reachable-set doubling
+  used by the greedy parse.
+* **Back-references**: every output byte's source is
+  ``parent[d] = d - distance`` (pairs) or ``d`` itself (literals) — a
+  strictly-decreasing parent forest rooted at literals.  Pointer-
+  jumping (``parent ← parent[parent]``) resolves every byte to its
+  literal root in O(log n) vector rounds, overlapping runs included.
+
+The scalar loop in :func:`repro.lzss.reference.reference_decode` is the
+specification; this module is property-tested against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lzss.formats import FLAG_LITERAL, TokenFormat
+from repro.lzss.parse import reachable_from
+from repro.util.bitio import gather_fields, ragged_arange, unpack_bits
+from repro.util.buffers import as_u8
+from repro.util.validation import require
+
+__all__ = ["decode", "decode_chunked", "decode_chunked_with_stats"]
+
+
+def _decode_stream(payload: np.ndarray, fmt: TokenFormat,
+                   output_size: int) -> tuple[np.ndarray, int]:
+    """Decode one continuous bit stream; returns (bytes, token count)."""
+    if output_size == 0:
+        return np.zeros(0, dtype=np.uint8), 0
+    bits = unpack_bits(payload)
+    nbits = bits.size
+    require(nbits >= fmt.literal_bits,
+            "corrupt stream: too short for a single token")
+
+    # --- token scan -----------------------------------------------------
+    jump = np.where(bits == FLAG_LITERAL, fmt.literal_bits, fmt.pair_bits)
+    jump = np.arange(nbits, dtype=np.int64) + jump
+    starts = reachable_from(jump, 0)
+    # The chain runs into the zero padding; cut it by output size below.
+    flags = bits[starts]
+    is_lit = flags == FLAG_LITERAL
+    out_len = np.ones(starts.size, dtype=np.int64)
+
+    # Pair lengths require their length field; only read fields that lie
+    # fully inside the stream (padding tails can't, and get dropped).
+    in_range = starts + np.where(is_lit, fmt.literal_bits, fmt.pair_bits) <= nbits
+    starts, flags, is_lit, out_len = (
+        starts[in_range], flags[in_range], is_lit[in_range], out_len[in_range])
+
+    pair_idx = np.nonzero(~is_lit)[0]
+    if pair_idx.size:
+        values = gather_fields(bits, starts[pair_idx] + 1,
+                               fmt.offset_bits + fmt.length_bits)
+        lengths = (values & ((1 << fmt.length_bits) - 1)) + fmt.min_match
+        distances = (values >> fmt.length_bits) + 1
+        require(bool((distances <= fmt.window).all()),
+                "corrupt stream: distance exceeds window")
+        out_len[pair_idx] = lengths
+
+    ends = np.cumsum(out_len)
+    keep = int(np.searchsorted(ends, output_size, side="left")) + 1
+    require(keep <= starts.size and int(ends[keep - 1]) == output_size,
+            "corrupt stream: token output does not land on declared size")
+    starts, is_lit, out_len = starts[:keep], is_lit[:keep], out_len[:keep]
+    out_start = ends[:keep] - out_len
+
+    # --- reconstruction --------------------------------------------------
+    parent = np.arange(output_size, dtype=np.int64)
+    values8 = np.zeros(output_size, dtype=np.uint8)
+
+    lit_pos = out_start[is_lit]
+    if lit_pos.size:
+        lit_bytes = gather_fields(bits, starts[is_lit] + 1, 8)
+        values8[lit_pos] = lit_bytes.astype(np.uint8)
+
+    pair_mask = ~is_lit
+    if np.any(pair_mask):
+        p_start = out_start[pair_mask]
+        p_len = out_len[pair_mask]
+        values_p = gather_fields(bits, starts[pair_mask] + 1,
+                                 fmt.offset_bits + fmt.length_bits)
+        p_dist = (values_p >> fmt.length_bits) + 1
+        flat = np.repeat(p_start, p_len) + ragged_arange(p_len)
+        parent[flat] = flat - np.repeat(p_dist, p_len)
+        require(int(parent.min()) >= 0,
+                "corrupt stream: back-reference before stream start")
+
+    # Pointer-jumping to literal roots; depth halves every round.
+    for _ in range(64):
+        grand = parent[parent]
+        if np.array_equal(grand, parent):
+            break
+        parent = grand
+    else:  # pragma: no cover - 2**64 chain depth is impossible
+        raise ValueError("corrupt stream: unresolvable reference chain")
+
+    return values8[parent], keep
+
+
+def decode(payload, fmt: TokenFormat, output_size: int) -> bytes:
+    """Decode one continuous LZSS stream (inverse of ``encode``)."""
+    arr = as_u8(payload)
+    out, _tokens = _decode_stream(arr, fmt, output_size)
+    return out.tobytes()
+
+
+def decode_chunked_with_stats(
+        payload, fmt: TokenFormat, chunk_sizes: np.ndarray,
+        chunk_size: int, output_size: int) -> tuple[bytes, np.ndarray]:
+    """Like :func:`decode_chunked` but also returns per-chunk token counts.
+
+    The token counts are what the GPU decompression cost model charges
+    each chunk thread for.
+    """
+    arr = as_u8(payload)
+    chunk_sizes = np.asarray(chunk_sizes, dtype=np.int64)
+    require(int(chunk_sizes.sum()) == arr.size,
+            "chunk size table does not cover the payload")
+    n_chunks = chunk_sizes.size
+    expected = (output_size + chunk_size - 1) // chunk_size if output_size else 0
+    require(n_chunks == expected,
+            f"expected {expected} chunks for {output_size} bytes, got {n_chunks}")
+
+    out = np.zeros(output_size, dtype=np.uint8)
+    tokens = np.zeros(n_chunks, dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(chunk_sizes)])
+    for c in range(n_chunks):
+        lo = c * chunk_size
+        hi = min(lo + chunk_size, output_size)
+        piece = arr[offsets[c]:offsets[c + 1]]
+        out[lo:hi], tokens[c] = _decode_stream(piece, fmt, hi - lo)
+    return out.tobytes(), tokens
+
+
+def decode_chunked(payload, fmt: TokenFormat, chunk_sizes: np.ndarray,
+                   chunk_size: int, output_size: int) -> bytes:
+    """Decode independent chunk streams (inverse of ``encode_chunked``).
+
+    ``chunk_sizes`` is the per-chunk compressed byte table the paper's
+    decompressor carries (§III.C); ``chunk_size`` the uncompressed
+    chunk length (last chunk may be short).  Chunks decode mutually
+    independently — the property the GPU decompressor exploits.
+    """
+    out, _tokens = decode_chunked_with_stats(payload, fmt, chunk_sizes,
+                                             chunk_size, output_size)
+    return out

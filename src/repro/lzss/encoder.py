@@ -1,0 +1,202 @@
+"""Fast vectorized LZSS encoder.
+
+The encode pipeline is four vector stages — no per-byte Python:
+
+1. all-position longest matches (lag method for CUDA windows,
+   hash-chain for the serial window);
+2. greedy parse → token start positions (jump doubling / lock-step);
+3. token field packing → ragged (value, nbits) arrays;
+4. one :func:`repro.util.bitio.pack_tokens` scatter into bytes, with
+   per-chunk byte alignment injected as zero-width pad entries so the
+   chunked container can slice chunks on byte boundaries.
+
+``encode`` produces one continuous stream (the serial format);
+``encode_chunked`` produces independently-decodable chunk streams (the
+GPU distribution and the Pthread chunking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lzss.formats import FLAG_LITERAL, TokenFormat
+from repro.lzss.lagmatch import lag_best_matches
+from repro.lzss.matcher import DEFAULT_MAX_CHAIN, hash_chain_best_matches
+from repro.lzss.parse import greedy_token_starts, optimal_token_advance
+from repro.lzss.stats import EncodeStats
+from repro.util.bitio import pack_tokens
+from repro.util.buffers import as_u8
+from repro.util.validation import require_range
+
+__all__ = ["EncodeResult", "best_matches", "encode", "encode_chunked"]
+
+#: Largest window for which the exact per-lag scan is the matcher of
+#: choice; beyond this the hash chain wins by a mile.
+LAG_WINDOW_LIMIT = 512
+
+
+@dataclass
+class EncodeResult:
+    """Compressed payload plus everything the caller may want to know.
+
+    ``chunk_sizes`` is the paper's "list of block compression sizes"
+    (§III.C): byte length of each independently-decodable chunk stream,
+    present only for chunked encodes.
+    """
+
+    payload: bytes
+    format: TokenFormat
+    input_size: int
+    chunk_sizes: np.ndarray | None
+    chunk_size: int | None
+    stats: EncodeStats
+
+
+def best_matches(
+    arr: np.ndarray,
+    fmt: TokenFormat,
+    chunk_size: int | None,
+    max_chain: int = DEFAULT_MAX_CHAIN,
+    collect_detail: bool = False,
+    slice_size: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, int | None, np.ndarray | None]:
+    """Dispatch to the right matcher; returns (len, dist, compares, per_pos)."""
+    if fmt.window <= LAG_WINDOW_LIMIT and slice_size is None:
+        res = lag_best_matches(arr, fmt.window, fmt.max_match,
+                               chunk_size=chunk_size,
+                               collect_per_position=collect_detail)
+        return (res.best_len, res.best_dist, res.compare_count,
+                res.per_position_compares, res.warp_compares)
+    blen, bdist = hash_chain_best_matches(arr, fmt.window, fmt.max_match,
+                                          max_chain=max_chain,
+                                          chunk_size=chunk_size,
+                                          slice_size=slice_size)
+    return blen, bdist, None, None, None
+
+
+def _tokenize_arrays(arr: np.ndarray, fmt: TokenFormat,
+                     chunk_size: int | None,
+                     max_chain: int,
+                     collect_detail: bool,
+                     slice_size: int | None = None,
+                     parse: str = "greedy"):
+    """Stages 1–3: matches → parse → per-token (value, nbits) arrays.
+
+    With ``slice_size`` the greedy parse restarts at every slice (the
+    CULZSS V1 per-thread boundaries); slices always divide chunks, so
+    chunk restarts are implied.
+
+    ``parse="lazy"`` applies one-byte lazy evaluation (the classic
+    zlib refinement, one of §VII's "improvements to be made on the
+    LZSS algorithm"): a match is deferred in favour of a literal when
+    the *next* position holds a strictly longer match.  The rule is
+    local, so it stays a vectorized advance-array rewrite.
+
+    ``parse="optimal"`` computes the bit-optimal parse by dynamic
+    programming (:func:`repro.lzss.parse.optimal_token_advance`) —
+    slower, for when ratio matters more than encode speed.
+    """
+    if parse not in ("greedy", "lazy", "optimal"):
+        raise ValueError(f"unknown parse strategy {parse!r}")
+    n = arr.size
+    blen, bdist, compares, per_pos, warp_cmp = best_matches(
+        arr, fmt, chunk_size, max_chain, collect_detail, slice_size)
+    matchable = blen >= fmt.min_match
+    if parse == "lazy" and n > 1:
+        longer_next = np.zeros(n, dtype=bool)
+        longer_next[:-1] = blen[1:] > blen[:-1]
+        matchable &= ~longer_next
+    if parse == "optimal":
+        advance = optimal_token_advance(blen, fmt.literal_bits,
+                                        fmt.pair_bits, fmt.min_match)
+        matchable = advance > 1
+    else:
+        advance = np.where(matchable, blen, 1).astype(np.int64)
+    starts = greedy_token_starts(advance, slice_size or chunk_size)
+
+    tok_len = advance[starts] if parse == "optimal" else blen[starts].astype(np.int64)
+    tok_dist = bdist[starts].astype(np.int64)
+    is_pair = matchable[starts]
+
+    lit_values = (np.int64(FLAG_LITERAL) << 8) | arr[starts].astype(np.int64)
+    pair_values = ((tok_dist - 1) << fmt.length_bits) | (tok_len - fmt.min_match)
+    values = np.where(is_pair, pair_values, lit_values)
+    nbits = np.where(is_pair, fmt.pair_bits, fmt.literal_bits).astype(np.int64)
+
+    n_pairs = int(is_pair.sum())
+    stats = EncodeStats(
+        input_size=n,
+        output_size=0,  # filled after packing
+        n_tokens=int(starts.size),
+        n_literals=int(starts.size) - n_pairs,
+        n_pairs=n_pairs,
+        sum_match_length=int(tok_len[is_pair].sum()),
+        total_bits=int(nbits.sum()),
+        compare_count=compares,
+        per_position_compares=per_pos if collect_detail else None,
+        per_warp_compares=warp_cmp if collect_detail else None,
+        token_starts=starts if collect_detail else None,
+        token_lengths=np.where(is_pair, tok_len, 1) if collect_detail else None,
+    )
+    return values, nbits, starts, stats
+
+
+def encode(data, fmt: TokenFormat, max_chain: int = DEFAULT_MAX_CHAIN,
+           collect_detail: bool = False,
+           parse: str = "greedy") -> EncodeResult:
+    """Compress ``data`` into one continuous LZSS bit stream."""
+    arr = as_u8(data)
+    values, nbits, _starts, stats = _tokenize_arrays(
+        arr, fmt, None, max_chain, collect_detail, parse=parse)
+    payload, total_bits = pack_tokens(values, nbits)
+    stats.total_bits = total_bits
+    stats.output_size = len(payload)
+    return EncodeResult(payload=payload, format=fmt, input_size=arr.size,
+                        chunk_sizes=None, chunk_size=None, stats=stats)
+
+
+def encode_chunked(data, fmt: TokenFormat, chunk_size: int,
+                   max_chain: int = DEFAULT_MAX_CHAIN,
+                   collect_detail: bool = False,
+                   slice_size: int | None = None,
+                   parse: str = "greedy") -> EncodeResult:
+    """Compress ``data`` as independent fixed-size chunks.
+
+    Every chunk's bit stream is padded to a byte boundary so the
+    container can address chunks directly; ``chunk_sizes`` reports the
+    per-chunk byte lengths in order.
+    """
+    arr = as_u8(data)
+    n = arr.size
+    require_range(chunk_size, 1, 1 << 40, "chunk_size")
+    values, nbits, starts, stats = _tokenize_arrays(
+        arr, fmt, chunk_size, max_chain, collect_detail, slice_size, parse)
+
+    n_chunks = (n + chunk_size - 1) // chunk_size if n else 0
+    if n_chunks == 0:
+        return EncodeResult(payload=b"", format=fmt, input_size=0,
+                            chunk_sizes=np.zeros(0, dtype=np.int64),
+                            chunk_size=chunk_size, stats=stats)
+
+    chunk_id = starts // chunk_size
+    bits_per_chunk = np.bincount(chunk_id, weights=nbits,
+                                 minlength=n_chunks).astype(np.int64)
+    pad_bits = (-bits_per_chunk) % 8
+    # Inject one zero-valued pad entry at each chunk boundary.  Insert
+    # positions are cumulative token counts per chunk.
+    tokens_per_chunk = np.bincount(chunk_id, minlength=n_chunks)
+    boundaries = np.cumsum(tokens_per_chunk)
+    values_all = np.insert(values, boundaries, 0)
+    nbits_all = np.insert(nbits, boundaries, pad_bits)
+
+    payload, total_bits = pack_tokens(values_all, nbits_all)
+    chunk_bytes = (bits_per_chunk + pad_bits) // 8
+    assert int(chunk_bytes.sum()) == len(payload)
+
+    stats.total_bits = total_bits
+    stats.output_size = len(payload)
+    return EncodeResult(payload=payload, format=fmt, input_size=n,
+                        chunk_sizes=chunk_bytes, chunk_size=chunk_size,
+                        stats=stats)

@@ -1,0 +1,188 @@
+"""Exact all-position longest-match search — the CULZSS V2 kernel math.
+
+The V2 GPU kernel assigns one thread per input character; every thread
+scans the same ``window``-byte history linearly and records the longest
+match starting at its character (§III.B.2).  Vectorized on the host this
+becomes one pass per *lag*: for lag ``d`` the per-position prefix-match
+run lengths between ``data[i:]`` and ``data[i-d:]`` are computed in O(n)
+with a suffix-minimum over mismatch indices, and the best over all
+``d ∈ [1, window]`` is reduced with ascending-``d`` iteration so ties
+keep the smallest distance — exactly the reference matcher's answer.
+
+The same routine also yields the *exact comparison count* the GPU (or a
+brute-force CPU loop) performs: candidate ``(i, d)`` costs
+``1 + min(runlen, cap)`` byte compares (compare until first mismatch or
+cap).  The timing models in :mod:`repro.model` are fed from these
+counts, not from guesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.buffers import as_u8
+from repro.util.validation import require, require_range
+
+__all__ = ["LagMatchResult", "lag_best_matches", "lag_run_lengths"]
+
+
+WARP_SIZE = 32
+
+
+@dataclass
+class LagMatchResult:
+    """All-position match arrays plus exact search-work accounting.
+
+    ``best_len[i]`` / ``best_dist[i]`` describe the longest match
+    starting at ``i`` (0 / 0 when shorter than one byte).
+    ``compare_count`` is the total number of byte comparisons a linear
+    window scan performs over all positions and lags — the quantity the
+    GPU timing model consumes.  ``per_position_compares`` (optional)
+    breaks that down by position; ``warp_compares`` (optional) is the
+    exact SIMT-lockstep cost per 32-position warp —
+    ``Σ_lags max_over_lanes(compares)`` — i.e. what a warp actually
+    pays when its lanes scan each window offset together and wait for
+    the slowest lane's byte-compare loop.
+    """
+
+    best_len: np.ndarray
+    best_dist: np.ndarray
+    compare_count: int
+    per_position_compares: np.ndarray | None = None
+    warp_compares: np.ndarray | None = None
+
+
+def lag_run_lengths(data: np.ndarray, lag: int, cap: int,
+                    _idx: np.ndarray | None = None) -> np.ndarray:
+    """Prefix-match run lengths between ``data[k+lag]`` and ``data[k]``.
+
+    Returns ``R`` of length ``n - lag`` where ``R[k]`` is the largest
+    ``l ≤ cap`` with ``data[k:k+l] == data[k+lag:k+lag+l]`` …computed as
+    the distance from ``k`` to the next mismatch, via a reversed
+    ``minimum.accumulate`` (suffix minimum) over mismatch indices.
+
+    ``_idx`` may pass a pre-built ``arange`` of length ≥ ``n − lag`` to
+    spare the per-lag allocation on the hot path.
+    """
+    n = data.size
+    require_range(lag, 1, max(n - 1, 1), "lag")
+    eq = data[lag:] == data[:-lag]
+    m = eq.size
+    idx = np.arange(m, dtype=np.int64) if _idx is None else _idx[:m]
+    mismatch_at = np.where(eq, np.int64(m), idx)
+    # suffix minimum: nearest mismatch index at or after k
+    next_mismatch = np.minimum.accumulate(mismatch_at[::-1])[::-1]
+    return np.minimum(next_mismatch - idx, cap)
+
+
+def lag_best_matches(
+    data: bytes | np.ndarray,
+    window: int,
+    max_match: int,
+    chunk_size: int | None = None,
+    collect_per_position: bool = False,
+) -> LagMatchResult:
+    """Longest match (and exact compare counts) at every input position.
+
+    Parameters
+    ----------
+    window:
+        Maximum back-reference distance (the V2 search-window size;
+        cost is one vector pass per lag so keep it ≤ a few hundred).
+    max_match:
+        Length cap (the lookahead / length-field limit).
+    chunk_size:
+        When given, positions are compressed per independent chunk:
+        matches neither reach before their chunk start nor extend past
+        its end — mirroring the per-block GPU distribution.
+    """
+    arr = as_u8(data)
+    n = arr.size
+    require_range(window, 1, 1 << 16, "window")
+    require_range(max_match, 1, 1 << 16, "max_match")
+    if chunk_size is not None:
+        # a chunk larger than the data degenerates to one chunk
+        require_range(chunk_size, 1, 1 << 40, "chunk_size")
+
+    best_len = np.zeros(n, dtype=np.int32)
+    best_dist = np.zeros(n, dtype=np.int32)
+    per_pos = np.zeros(n, dtype=np.int64) if collect_per_position else None
+    n_warps = (n + WARP_SIZE - 1) // WARP_SIZE
+    warp_acc = (np.zeros(n_warps, dtype=np.int64)
+                if collect_per_position else None)
+    pad = n_warps * WARP_SIZE - n
+    compare_count = 0
+    if n == 0:
+        return LagMatchResult(best_len, best_dist, 0, per_pos, warp_acc)
+
+    pos = np.arange(n, dtype=np.int64)
+    if chunk_size is None:
+        room_after = np.int64(n) - pos
+        chunk_starts = np.array([0], dtype=np.int64)
+    else:
+        chunk_end = np.minimum((pos // chunk_size + 1) * chunk_size, n)
+        room_after = chunk_end - pos
+        chunk_starts = np.arange(0, n, chunk_size, dtype=np.int64)
+
+    len_cap = np.minimum(room_after, max_match).astype(np.int64)
+    len_cap1 = len_cap.clip(min=1)  # loop invariant: cost floor per candidate
+
+    # Reused hot-loop buffers: a compare/candidate array per lag would
+    # otherwise allocate 2×n int64 per window offset.
+    cand_len = np.zeros(n + pad, dtype=np.int64)
+    compares = np.empty(n + pad, dtype=np.int64)
+    compares[n:] = 0
+
+    for d in range(1, min(window, n - 1) + 1):
+        runs = lag_run_lengths(arr, d, max_match, _idx=pos)
+        # match at position i uses run starting at k = i - d
+        view_len = cand_len[:n]
+        view_len[:d] = 0
+        np.minimum(runs, len_cap[d:], out=view_len[d:])
+        # Window-crosses-chunk-start invalidation: only the first d
+        # positions of each chunk are affected — zero those slices
+        # instead of masking the whole array.
+        for cs in chunk_starts:
+            view_len[cs:cs + d] = 0
+        # search cost: compare until first mismatch or cap → 1 + length,
+        # except a cap-length match costs exactly cap compares.
+        view_cmp = compares[:n]
+        np.add(view_len, 1, out=view_cmp)
+        np.minimum(view_cmp, len_cap1, out=view_cmp)
+        view_cmp[:d] = 0
+        for cs in chunk_starts:
+            view_cmp[cs:cs + d] = 0
+        compare_count += int(view_cmp.sum())
+        if per_pos is not None:
+            per_pos += view_cmp
+        if warp_acc is not None:
+            warp_acc += compares.reshape(n_warps, WARP_SIZE).max(axis=1)
+        better = view_len > best_len  # strict: ties keep smaller d
+        if np.any(better):
+            best_len[better] = view_len[better]
+            best_dist[better] = d
+
+    return LagMatchResult(best_len, best_dist, compare_count, per_pos,
+                          warp_acc)
+
+
+def validate_matches(data: np.ndarray, result: LagMatchResult) -> None:
+    """Debug helper: assert every reported match actually matches."""
+    arr = as_u8(data)
+    idx = np.nonzero(result.best_len)[0]
+    for i in idx[: 10_000]:  # bounded; this is a test utility
+        d = int(result.best_dist[i])
+        length = int(result.best_len[i])
+        require(d >= 1, "zero distance with nonzero length")
+        src = arr[i - d:i - d + length]
+        dst = arr[i:i + length]
+        # overlapping self-extension: compare with explicit loop semantics
+        ok = True
+        for k in range(length):
+            if arr[i - d + k] != arr[i + k]:
+                ok = False
+                break
+        require(ok, f"bogus match at {i}: dist={d} len={length}")
+        del src, dst

@@ -1,0 +1,151 @@
+"""Hash-chain longest-match search for the large (4 KiB) serial window.
+
+The lag method of :mod:`repro.lzss.lagmatch` costs one vector pass per
+lag — perfect for the CUDA formats' 128-byte window, hopeless for the
+serial format's 4096.  This module finds all-position longest matches
+the way zlib does: positions are bucketed by their 3-byte prefix
+("gram"); candidates for position ``i`` are the nearest previous
+positions with the same gram inside the window; candidate match lengths
+are extended *for every pair simultaneously* in at most ``max_match``
+vector rounds.
+
+Because any match of length ≥ 3 must share its leading gram, searching
+every same-gram predecessor in the window is **exact** for LZSS
+purposes (shorter candidates are emitted as literals anyway).  The
+``max_chain`` bound makes the search approximate on extremely
+repetitive data, exactly like zlib's chain cap; tests use
+``max_chain ≥ window`` to check exactness against the brute-force
+reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.buffers import as_u8
+from repro.util.validation import require_range
+
+__all__ = ["hash_chain_best_matches"]
+
+DEFAULT_MAX_CHAIN = 64
+
+
+def _grams3(arr: np.ndarray) -> np.ndarray:
+    """24-bit keys of 3-byte prefixes: one per position ``i ≤ n-3``."""
+    a = arr.astype(np.int64, copy=False)
+    return (a[:-2] << 16) | (a[1:-1] << 8) | a[2:]
+
+
+def _pair_match_lengths(arr: np.ndarray, i_pos: np.ndarray, j_pos: np.ndarray,
+                        cap: np.ndarray) -> np.ndarray:
+    """Match lengths of ``arr[i:]`` vs ``arr[j:]`` for all pairs at once.
+
+    Vector loop over the match depth: every surviving pair compares its
+    next byte each round, so the round count is bounded by ``cap.max()``
+    (≤ 18 for the serial format), not by the pair count.
+    """
+    npairs = i_pos.size
+    lengths = np.zeros(npairs, dtype=np.int64)
+    if npairs == 0:
+        return lengths
+    active = np.arange(npairs)
+    max_cap = int(cap.max(initial=0))
+    for _ in range(max_cap):
+        # Two-step masking: only pairs below their cap may read the next
+        # byte, otherwise arr[i + len] can index past the array end.
+        below = lengths[active] < cap[active]
+        active = active[below]
+        if active.size == 0:
+            break
+        ia = i_pos[active]
+        ja = j_pos[active]
+        la = lengths[active]
+        cont = arr[ja + la] == arr[ia + la]
+        lengths[active[cont]] += 1
+        active = active[cont]
+        if active.size == 0:
+            break
+    return lengths
+
+
+def hash_chain_best_matches(
+    data: bytes | np.ndarray,
+    window: int,
+    max_match: int,
+    max_chain: int = DEFAULT_MAX_CHAIN,
+    chunk_size: int | None = None,
+    slice_size: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Longest match (length ≥ 3 exact up to ``max_chain``) at every position.
+
+    Returns ``(best_len, best_dist)`` int32 arrays of length ``n``.
+    Positions with no match of ≥ 3 bytes report length 0.  Ties on
+    length keep the smallest distance (chain order is nearest-first).
+
+    ``chunk_size`` confines the *window* (matches never reach into an
+    earlier chunk); ``slice_size`` additionally caps the match *length*
+    at slice boundaries — the CULZSS V1 semantics where every thread
+    encodes its own slice but searches the whole chunk before it.
+    """
+    arr = as_u8(data)
+    n = arr.size
+    require_range(window, 1, 1 << 24, "window")
+    require_range(max_match, 3, 1 << 16, "max_match")
+    require_range(max_chain, 1, 1 << 24, "max_chain")
+
+    best_len = np.zeros(n, dtype=np.int32)
+    best_dist = np.zeros(n, dtype=np.int32)
+    if n < 4:  # a 3-byte match needs source and destination to both fit
+        return best_len, best_dist
+
+    grams = _grams3(arr)
+    # Stable argsort ⇒ within each gram bucket positions stay ascending.
+    order = np.argsort(grams, kind="stable").astype(np.int64)
+    g_sorted = grams[order]
+
+    pos = np.arange(n, dtype=np.int64)
+    if chunk_size is None:
+        cap_all = np.minimum(np.int64(n) - pos, max_match)
+        chunk_of = None
+    else:
+        require_range(chunk_size, 1, 1 << 40, "chunk_size")
+        chunk_end = np.minimum((pos // chunk_size + 1) * chunk_size, n)
+        cap_all = np.minimum(chunk_end - pos, max_match)
+        chunk_of = pos // chunk_size
+    if slice_size is not None:
+        require_range(slice_size, 1, 1 << 40, "slice_size")
+        if chunk_size is not None and chunk_size % slice_size:
+            raise ValueError("slice_size must divide chunk_size")
+        slice_end = np.minimum((pos // slice_size + 1) * slice_size, n)
+        cap_all = np.minimum(cap_all, slice_end - pos)
+
+    for k in range(1, max_chain + 1):
+        if k >= g_sorted.size:
+            break
+        same = g_sorted[k:] == g_sorted[:-k]
+        if not np.any(same):
+            break
+        i_pos = order[k:][same]
+        j_pos = order[:-k][same]
+        dist = i_pos - j_pos
+        ok = dist <= window
+        if chunk_of is not None:
+            ok &= chunk_of[i_pos] == chunk_of[j_pos]
+        # Only pairs that can still improve are worth extending.
+        ok &= cap_all[i_pos] >= 3
+        i_pos, j_pos = i_pos[ok], j_pos[ok]
+        if i_pos.size == 0:
+            continue
+        lengths = _pair_match_lengths(arr, i_pos, j_pos, cap_all[i_pos])
+        better = lengths > best_len[i_pos]
+        if np.any(better):
+            upd = i_pos[better]
+            best_len[upd] = lengths[better]
+            best_dist[upd] = (i_pos - j_pos)[better]
+
+    # Lengths below 3 are never encoded; normalize them away so all
+    # matchers agree on the canonical "no match" representation.
+    short = best_len < 3
+    best_len[short] = 0
+    best_dist[short] = 0
+    return best_len, best_dist

@@ -1,0 +1,127 @@
+"""Pure-Python LZSS reference codec — the executable specification.
+
+This is the algorithm of §II.A as Dipperstein's serial C code executes
+it: greedy parse, brute-force longest-match search over the sliding
+window, flag bit per token.  It is deliberately written for obviousness,
+not speed; the fast vectorized codecs in :mod:`repro.lzss.encoder` /
+:mod:`repro.lzss.decoder` are property-tested against it.
+
+Spec details every implementation in this package follows:
+
+* Matches may not start before ``block_start`` (chunk independence) but
+  may *overlap* the current position (distance < length), the classic
+  LZ77 run encoding.
+* Longest match wins; ties broken by the smallest distance.
+* A match shorter than ``fmt.min_match`` is emitted as a literal.
+"""
+
+from __future__ import annotations
+
+from repro.lzss.formats import FLAG_LITERAL, TokenFormat
+from repro.util.bitio import BitReader, BitWriter
+from repro.util.buffers import as_bytes
+
+__all__ = [
+    "reference_decode",
+    "reference_encode",
+    "reference_find_match",
+    "reference_tokenize",
+]
+
+Token = tuple[str, int] | tuple[str, int, int]  # ("lit", byte) | ("pair", dist, len)
+
+
+def reference_find_match(data: bytes, pos: int, fmt: TokenFormat,
+                         block_start: int = 0,
+                         block_end: int | None = None) -> tuple[int, int]:
+    """Brute-force longest match for ``data[pos:]`` in the window.
+
+    Returns ``(distance, length)``; ``(0, 0)`` when no match of at least
+    one byte exists.  Ties on length go to the smallest distance
+    (scanning distances outward keeps the first, nearest, winner).
+    """
+    if block_end is None:
+        block_end = len(data)
+    best_len = 0
+    best_dist = 0
+    max_len_here = min(fmt.max_match, block_end - pos)
+    lo = max(block_start, pos - fmt.window)
+    for cand in range(pos - 1, lo - 1, -1):  # nearest candidates first
+        length = 0
+        while (length < max_len_here
+               and data[cand + length] == data[pos + length]):
+            length += 1
+        if length > best_len:
+            best_len = length
+            best_dist = pos - cand
+            if best_len == max_len_here:
+                break
+    return best_dist, best_len
+
+
+def reference_tokenize(data: bytes, fmt: TokenFormat,
+                       block_start: int = 0,
+                       block_end: int | None = None) -> list[Token]:
+    """Greedy parse of ``data[block_start:block_end]`` into tokens."""
+    data = as_bytes(data)
+    if block_end is None:
+        block_end = len(data)
+    tokens: list[Token] = []
+    pos = block_start
+    while pos < block_end:
+        dist, length = reference_find_match(data, pos, fmt, block_start, block_end)
+        if length >= fmt.min_match:
+            tokens.append(("pair", dist, length))
+            pos += length
+        else:
+            tokens.append(("lit", data[pos]))
+            pos += 1
+    return tokens
+
+
+def tokens_to_bits(tokens: list[Token], fmt: TokenFormat,
+                   writer: BitWriter | None = None) -> BitWriter:
+    """Serialize tokens into a bit stream (shared by encode paths)."""
+    w = writer if writer is not None else BitWriter()
+    for token in tokens:
+        if token[0] == "lit":
+            w.write_bit(FLAG_LITERAL)
+            w.write_bits(token[1], 8)
+        else:
+            _, dist, length = token
+            value, nbits = fmt.pack_pair(dist, length)
+            w.write_bit(1 - FLAG_LITERAL)
+            w.write_bits(value, nbits - 1)
+    return w
+
+
+def reference_encode(data: bytes, fmt: TokenFormat) -> bytes:
+    """Compress ``data`` into a raw LZSS bit stream (zero-padded bytes)."""
+    tokens = reference_tokenize(as_bytes(data), fmt)
+    return tokens_to_bits(tokens, fmt).getvalue()
+
+
+def reference_decode(payload: bytes, fmt: TokenFormat, output_size: int) -> bytes:
+    """Decompress a raw LZSS bit stream produced for ``output_size`` bytes.
+
+    Decoding is the straightforward §II.A.2 loop: read a flag; a literal
+    appends one byte, a pair copies ``length`` bytes from ``distance``
+    back (byte-by-byte, so overlapping runs self-extend).
+    """
+    reader = BitReader(payload)
+    out = bytearray()
+    while len(out) < output_size:
+        if reader.read_bit() == FLAG_LITERAL:
+            out.append(reader.read_bits(8))
+        else:
+            value = reader.read_bits(fmt.pair_bits - 1)
+            dist, length = fmt.unpack_pair(value)
+            if dist > len(out):
+                raise ValueError(
+                    f"corrupt stream: distance {dist} at output offset {len(out)}")
+            start = len(out) - dist
+            for k in range(length):
+                out.append(out[start + k])
+    if len(out) != output_size:
+        raise ValueError("corrupt stream: output overshoots declared size")
+    return bytes(out)

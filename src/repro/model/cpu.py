@@ -1,0 +1,195 @@
+"""CPU timing models: serial LZSS, Pthread LZSS, serial decompression.
+
+The serial implementation the paper adapts (Dipperstein's) brute-force
+scans the window at every coding step, with two crucial behaviours the
+model must carry to reproduce Table I's dataset-to-dataset spread:
+
+* **skip** — matched bytes are jumped over, so the scan count is the
+  *token* count, not the byte count (why highly-compressible data is
+  ~12× cheaper than C files for the serial coder, Table I);
+* **full-window scans** — every step compares against each of the
+  ``min(position, 4096)`` window candidates until its first mismatch.
+  (Dipperstein's FindMatch can break once an 18-byte match appears,
+  but the paper's near-identical serial times across C files and the
+  dictionary — datasets with very different match-length tails — are
+  only consistent with the scan effectively covering the window; the
+  early-exit distribution is still measured and reported, just not
+  charged.)
+
+Modeled cost per coding step at window ``W``:
+
+    C(W) = W · (1 + (κ − 1) · EXTENSION_COMPARE_WEIGHT)
+
+The dominant per-candidate cost is the loop itself (index update,
+bounds check, first-byte compare); extension bytes beyond the first
+run in a tight inner loop and are charged at a quarter of a candidate
+each.  κ — the mean byte comparisons per candidate (compare until
+first mismatch, capped at the 18-byte lookahead) — is *measured on the
+data itself* by :func:`sample_match_statistics`: exact lag scans over
+a deterministic sample, with lags importance-sampled out to the full
+4096-byte window so run-heavy data (long matches at short lags only)
+is priced correctly.  Nothing dataset-specific is assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lzss.constants import SERIAL_LOOKAHEAD, SERIAL_WINDOW
+from repro.lzss.lagmatch import lag_run_lengths
+from repro.lzss.stats import EncodeStats
+from repro.model.calibration import CPU_CLOCK_HZ, Calibration
+from repro.util.buffers import as_u8
+from repro.util.validation import require, require_range
+
+__all__ = [
+    "MatchSampleStats",
+    "PthreadModel",
+    "SerialCpuModel",
+    "estimate_serial_compares",
+    "expected_scan_length",
+    "sample_match_statistics",
+]
+
+#: Sample budget: four evenly spaced 64 KiB slices pin κ to well under
+#: a percent on every dataset we generate.
+SAMPLE_BYTES = 256 * 1024
+
+#: Relative cost of an extension-byte compare versus a fresh candidate
+#: (loop overhead + first compare); see module docs.
+EXTENSION_COMPARE_WEIGHT = 0.25
+
+
+def effective_candidate_cost(kappa: float) -> float:
+    """Cost units per scanned candidate given the measured κ."""
+    return 1.0 + (kappa - 1.0) * EXTENSION_COMPARE_WEIGHT
+
+
+@dataclass(frozen=True)
+class MatchSampleStats:
+    """Measured per-candidate search statistics of one dataset.
+
+    ``kappa``: mean byte comparisons per window candidate (compare
+    until first mismatch or cap), averaged over the whole 4096-byte
+    window via importance-sampled lags.  ``p_cap``: probability that a
+    candidate matches all the way to the length cap (Dipperstein's
+    early-exit trigger — measured for reporting, not charged; see
+    module docs).
+    """
+
+    kappa: float
+    p_cap: float
+    sample_bytes: int
+
+
+def _sampled_lags(window: int) -> list[tuple[int, float]]:
+    """(lag, weight) pairs covering [1, window].
+
+    Short lags — where run structure concentrates — are enumerated
+    exhaustively; beyond 64 the lags thin out geometrically and each
+    sampled lag stands in (weight) for its neighbourhood.
+    """
+    out = [(d, 1.0) for d in range(1, min(64, window) + 1)]
+    d = 64
+    step = 8
+    while d < window:
+        nxt = min(d + step * 8, window)
+        for lag in range(d + step, nxt + 1, step):
+            out.append((lag, float(step)))
+        d = nxt
+        step *= 2
+    return out
+
+
+def sample_match_statistics(data, sample_bytes: int = SAMPLE_BYTES,
+                            window: int = SERIAL_WINDOW,
+                            cap: int = SERIAL_LOOKAHEAD) -> MatchSampleStats:
+    """Measure κ (and p_cap) with exact lag scans over a sample."""
+    arr = as_u8(data)
+    n = arr.size
+    if n <= 3:  # nothing to match; degenerate but valid statistics
+        return MatchSampleStats(kappa=1.0, p_cap=1e-9, sample_bytes=n)
+    if n <= sample_bytes:
+        sample = arr
+    else:
+        k = 4
+        piece = sample_bytes // k
+        starts = np.linspace(0, n - piece, k).astype(np.int64)
+        sample = np.concatenate([arr[s:s + piece] for s in starts])
+
+    m = sample.size
+    compares = 0.0
+    capped = 0.0
+    candidates = 0.0
+    for d, weight in _sampled_lags(min(window, m - 1)):
+        runs = lag_run_lengths(sample, d, cap)
+        compares += weight * float(np.minimum(runs + 1, cap).sum())
+        capped += weight * float((runs >= cap).sum())
+        candidates += weight * runs.size
+    require(candidates > 0, "sample too small")
+    return MatchSampleStats(
+        kappa=compares / candidates,
+        p_cap=max(capped / candidates, 1e-9),
+        sample_bytes=m,
+    )
+
+
+def expected_scan_length(window: np.ndarray | float,
+                         p_cap: float) -> np.ndarray | float:
+    """E[min(W, Geometric(p_cap))]: candidates scanned before early exit."""
+    w = np.asarray(window, dtype=np.float64)
+    # Stable for tiny p: use expm1/log1p form of (1-(1-p)^W)/p.
+    return -np.expm1(w * np.log1p(-min(p_cap, 1 - 1e-12))) / p_cap
+
+
+def estimate_serial_compares(stats: EncodeStats, sample: MatchSampleStats,
+                             window: int = SERIAL_WINDOW,
+                             chunk_size: int | None = None) -> float:
+    """Brute-force comparison count of a full serial (or V1-thread) run.
+
+    Needs ``collect_detail=True`` encode stats (token start positions).
+    Each coding step scans the ``W_i = min(position, window)``
+    candidates available at that position (clipped by the stream or
+    chunk start) at κ comparisons each.
+    """
+    require(stats.token_starts is not None,
+            "serial model needs collect_detail=True encode stats")
+    require_range(sample.kappa, 0.5, 64.0, "kappa")
+    starts = stats.token_starts
+    offsets = starts if chunk_size is None else starts % chunk_size
+    w_i = np.minimum(offsets, window)
+    return float(w_i.sum()) * effective_candidate_cost(sample.kappa)
+
+
+class SerialCpuModel:
+    """Modeled i7-920 times of the serial LZSS implementation."""
+
+    def __init__(self, calibration: Calibration) -> None:
+        self.cal = calibration
+
+    def compress_seconds(self, stats: EncodeStats,
+                         sample: MatchSampleStats) -> float:
+        compares = estimate_serial_compares(stats, sample)
+        return compares * self.cal.cpu_cycles_per_compare / CPU_CLOCK_HZ
+
+    def decompress_seconds(self, output_bytes: int, n_tokens: int) -> float:
+        """§II.A.2's read-decode-write loop: byte copies + token decode."""
+        units = output_bytes + 4.0 * n_tokens
+        return units * self.cal.cpu_decomp_cycles_per_unit / CPU_CLOCK_HZ
+
+
+class PthreadModel:
+    """Modeled times of the POSIX-threads chunked implementation."""
+
+    def __init__(self, calibration: Calibration) -> None:
+        self.cal = calibration
+
+    def compress_seconds(self, serial_seconds: float,
+                         compressed_bytes: int) -> float:
+        """Serial work ÷ effective parallelism + reassembly memcpy."""
+        parallel = serial_seconds / self.cal.pthread_effective_parallelism
+        merge = (compressed_bytes * self.cal.concat_cycles_per_byte
+                 / CPU_CLOCK_HZ)
+        return parallel + merge

@@ -1,0 +1,35 @@
+"""Tiny argument-checking helpers used across the package.
+
+Centralizing these keeps error messages uniform and the call sites
+one-liners; they raise the standard exception types (``ValueError`` /
+``TypeError``) so callers never need to import anything special to
+handle them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["require", "require_range", "require_type"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_range(value: int | float, lo: int | float, hi: int | float,
+                  name: str = "value") -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def require_type(value: Any, types: type | tuple[type, ...],
+                 name: str = "value") -> None:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        expected = (types.__name__ if isinstance(types, type)
+                    else "/".join(t.__name__ for t in types))
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")

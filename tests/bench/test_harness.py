@@ -1,0 +1,130 @@
+"""Benchmark harness and fitting: integration at a tiny scale."""
+
+import pytest
+
+from repro.bench.harness import bench_bytes, gather_artifacts, run_dataset
+from repro.bench.paper import (
+    PAPER_DATASET_ORDER,
+    TABLE1_SECONDS,
+    TABLE1_SYSTEMS,
+    TABLE3_SECONDS,
+)
+from repro.bench.tables import (
+    format_figure4,
+    format_table,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.model.fitting import fit_calibration
+from repro.model.report import experiments_markdown, table_reports
+
+SIZE = 192 * 1024
+
+
+@pytest.fixture(scope="module")
+def cfiles_artifacts():
+    return gather_artifacts("cfiles", SIZE)
+
+
+@pytest.fixture(scope="module")
+def calibration(cfiles_artifacts):
+    return fit_calibration(cfiles_artifacts)
+
+
+@pytest.fixture(scope="module")
+def runs(cfiles_artifacts, calibration):
+    arts = {"cfiles": cfiles_artifacts,
+            "highly_compressible": gather_artifacts("highly_compressible",
+                                                    SIZE)}
+    return {name: run_dataset(a, calibration) for name, a in arts.items()}
+
+
+class TestFitting:
+    def test_anchors_hit_exactly(self, runs):
+        cf = runs["cfiles"]
+        t1 = TABLE1_SECONDS["cfiles"]
+        # CPU anchors solve exactly at any scale.
+        for system in ("serial", "pthread", "bzip2"):
+            assert cf.compress_seconds[system] == pytest.approx(
+                t1[system], rel=0.02), system
+        # GPU anchors carry a block-scheduling tail effect at this tiny
+        # test scale (48 blocks over 15 SMs); the real benches run at
+        # ≥1 MiB where the fit lands within a percent.
+        for system in ("culzss_v1", "culzss_v2"):
+            assert cf.compress_seconds[system] == pytest.approx(
+                t1[system], rel=0.15), system
+        assert cf.decompress_seconds["serial"] == pytest.approx(
+            TABLE3_SECONDS["cfiles"]["serial"], rel=0.02)
+        # The GPU decompression floor (transfers + per-byte copies +
+        # scheduling tail) sits above the target at 192 KiB; the fit
+        # clamps at its floor here and converges at bench scale.
+        assert cf.decompress_seconds["culzss"] == pytest.approx(
+            TABLE3_SECONDS["cfiles"]["culzss"], rel=0.6)
+
+    def test_fit_requires_cfiles(self):
+        arts = gather_artifacts("highly_compressible", 32 * 1024)
+        with pytest.raises(ValueError):
+            fit_calibration(arts)
+
+    def test_fitted_constants_sane(self, calibration):
+        assert 0.05 < calibration.cpu_cycles_per_compare < 20
+        assert 2 < calibration.pthread_effective_parallelism < 8
+        assert calibration.gpu_kernel_efficiency > 0
+
+
+class TestPredictions:
+    def test_headline_claims_hold(self, runs):
+        """§I: up to 18x vs serial, 3x vs pthread — and §V's rules."""
+        cf = runs["cfiles"]
+        hc = runs["highly_compressible"]
+        # GPU beats serial everywhere
+        assert cf.compress_seconds["culzss_v2"] < cf.compress_seconds["serial"]
+        assert hc.compress_seconds["culzss_v1"] < hc.compress_seconds["serial"]
+        # V1 wins on highly-compressible, V2 on C files (§V)
+        assert (hc.compress_seconds["culzss_v1"]
+                < hc.compress_seconds["culzss_v2"])
+        assert (cf.compress_seconds["culzss_v2"]
+                < cf.compress_seconds["culzss_v1"])
+        # BZIP2 collapses on highly-compressible data (160x claim)
+        assert (hc.compress_seconds["bzip2"]
+                > hc.compress_seconds["culzss_v1"] * 20)
+
+    def test_ratios_are_measured_not_modeled(self, runs, cfiles_artifacts):
+        assert (runs["cfiles"].ratios["serial"]
+                == cfiles_artifacts.serial.stats.ratio)
+
+    def test_speedup_helper(self, runs):
+        cf = runs["cfiles"]
+        assert cf.speedup_vs_serial("culzss_v2") == pytest.approx(
+            cf.compress_seconds["serial"] / cf.compress_seconds["culzss_v2"])
+
+
+class TestRendering:
+    def test_tables_render(self, runs):
+        t1 = format_table(table1_rows(runs), "TABLE I")
+        t2 = format_table(table2_rows(runs), "TABLE II", percent=True)
+        t3 = format_table(table3_rows(runs), "TABLE III")
+        for text, needle in ((t1, "C files"), (t2, "%"), (t3, "CULZSS")):
+            assert needle in text
+
+    def test_figure4_renders(self, runs):
+        fig = format_figure4(runs)
+        assert "speedup" in fig
+        assert "#" in fig
+
+    def test_experiments_markdown(self, runs):
+        md = experiments_markdown(runs)
+        assert "⚓" in md  # anchors marked
+        assert "Table I" in md
+        reports = table_reports(runs)
+        anchors = [c for c in reports if c.is_anchor]
+        assert len(anchors) == 7  # five Table I + two Table III cells
+
+
+class TestEnvKnob:
+    def test_bench_bytes_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MB", "2")
+        assert bench_bytes() == 2 << 20
+        monkeypatch.delenv("REPRO_BENCH_MB")
+        assert bench_bytes() == 1 << 20

@@ -1,0 +1,59 @@
+"""End-to-end harness integration: run_all over all five datasets.
+
+A miniature (256 KiB) version of exactly what ``culzss bench`` and the
+benchmark suite execute: gather every functional artifact, re-fit the
+anchors, model every cell, render every table.
+"""
+
+import pytest
+
+from repro.bench import (
+    format_figure4,
+    format_table,
+    run_all,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.bench.paper import PAPER_DATASET_ORDER
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return run_all(size=256 * 1024)
+
+
+def test_all_datasets_present(runs):
+    assert sorted(runs) == sorted(PAPER_DATASET_ORDER)
+
+
+def test_all_cells_finite_and_positive(runs):
+    for run in runs.values():
+        for seconds in run.compress_seconds.values():
+            assert 0 < seconds < 1e4
+        for seconds in run.decompress_seconds.values():
+            assert 0 < seconds < 1e3
+        for ratio in run.ratios.values():
+            assert 0 < ratio < 1.3
+
+
+def test_paper_orderings(runs):
+    for name, run in runs.items():
+        cs = run.compress_seconds
+        # serial is the slowest LZSS everywhere (Table I)
+        assert cs["serial"] > cs["pthread"]
+        assert cs["serial"] > cs["culzss_v1"]
+        # V1's ratio never beats serial's (Table II)
+        assert run.ratios["culzss_v1"] >= run.ratios["serial"] - 1e-9
+    # §V winners
+    assert (runs["highly_compressible"].compress_seconds["culzss_v1"]
+            < runs["highly_compressible"].compress_seconds["culzss_v2"])
+    assert (runs["cfiles"].compress_seconds["culzss_v2"]
+            < runs["cfiles"].compress_seconds["culzss_v1"])
+
+
+def test_tables_render_for_all(runs):
+    assert "Highly Compr." in format_table(table1_rows(runs), "t1")
+    assert "%" in format_table(table2_rows(runs), "t2", percent=True)
+    assert "CULZSS" in format_table(table3_rows(runs), "t3")
+    assert "speedup" in format_figure4(runs)

@@ -1,0 +1,121 @@
+"""Canonical length-limited Huffman coding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bzip2.huffman import (
+    MAX_CODE_LEN,
+    HuffmanCode,
+    canonical_codes,
+    huffman_code_lengths,
+    huffman_decode,
+    huffman_encode,
+)
+
+
+def kraft_sum(lengths: np.ndarray) -> float:
+    return sum(2.0 ** -int(ln) for ln in lengths if ln > 0)
+
+
+class TestCodeLengths:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 10_000), min_size=2, max_size=64))
+    def test_kraft_equality(self, freqs):
+        freqs = np.array(freqs)
+        if (freqs > 0).sum() < 2:
+            return
+        lengths = huffman_code_lengths(freqs)
+        assert kraft_sum(lengths) == pytest.approx(1.0)
+
+    def test_single_symbol_gets_one_bit(self):
+        lengths = huffman_code_lengths(np.array([0, 7, 0]))
+        assert lengths.tolist() == [0, 1, 0]
+
+    def test_empty(self):
+        assert huffman_code_lengths(np.zeros(5, dtype=int)).sum() == 0
+
+    def test_uniform_frequencies_balanced(self):
+        lengths = huffman_code_lengths(np.full(8, 10))
+        assert set(lengths.tolist()) == {3}
+
+    def test_skew_respects_depth_limit(self):
+        # Fibonacci-ish frequencies normally produce deep trees
+        freqs = np.array([1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233,
+                          377, 610, 987, 1597, 2584, 4181, 6765, 10946,
+                          17711, 28657, 46368, 75025])
+        lengths = huffman_code_lengths(freqs)
+        assert lengths.max() <= MAX_CODE_LEN
+        assert kraft_sum(lengths) <= 1.0 + 1e-9
+
+    def test_more_frequent_never_longer(self):
+        freqs = np.array([100, 1, 50, 5])
+        lengths = huffman_code_lengths(freqs)
+        assert lengths[0] <= lengths[1]
+        assert lengths[2] <= lengths[3]
+
+
+class TestCanonical:
+    def test_prefix_free(self):
+        freqs = np.array([50, 30, 10, 5, 3, 2])
+        code = HuffmanCode.from_frequencies(freqs)
+        words = []
+        for sym in range(freqs.size):
+            ln = int(code.lengths[sym])
+            if ln:
+                words.append(format(int(code.codes[sym]), f"0{ln}b"))
+        for i, a in enumerate(words):
+            for j, b in enumerate(words):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_lengths_table_reconstructs_codes(self):
+        freqs = np.array([9, 5, 3, 1, 1])
+        code = HuffmanCode.from_frequencies(freqs)
+        rebuilt = HuffmanCode.from_lengths(code.lengths)
+        assert rebuilt.codes.tolist() == code.codes.tolist()
+
+    def test_canonical_ordering(self):
+        lengths = np.array([2, 1, 3, 3])
+        codes = canonical_codes(lengths)
+        # shorter code numerically extends: 0, 10, 110, 111
+        assert codes.tolist() == [0b10, 0b0, 0b110, 0b111]
+
+
+class TestEncodeDecode:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=500))
+    def test_roundtrip(self, syms):
+        syms = np.array(syms)
+        freqs = np.bincount(syms, minlength=21)
+        code = HuffmanCode.from_frequencies(freqs)
+        payload, nbits = huffman_encode(syms, code)
+        out = huffman_decode(payload, nbits, code, syms.size)
+        assert out.tolist() == syms.tolist()
+
+    def test_single_symbol_stream(self):
+        syms = np.zeros(1000, dtype=np.int64)
+        code = HuffmanCode.from_frequencies(np.array([1000]))
+        payload, nbits = huffman_encode(syms, code)
+        assert nbits == 1000
+        assert (huffman_decode(payload, nbits, code, 1000) == 0).all()
+
+    def test_symbol_without_code_rejected(self):
+        code = HuffmanCode.from_frequencies(np.array([5, 5, 0]))
+        with pytest.raises(ValueError):
+            huffman_encode(np.array([2]), code)
+
+    def test_truncated_stream_rejected(self):
+        syms = np.arange(10) % 4
+        code = HuffmanCode.from_frequencies(np.bincount(syms, minlength=4))
+        payload, nbits = huffman_encode(syms, code)
+        with pytest.raises(ValueError):
+            huffman_decode(payload[:1], 8, code, 10)
+
+    def test_compresses_skewed_stream(self):
+        rng = np.random.default_rng(0)
+        syms = np.where(rng.random(4000) < 0.9, 0, rng.integers(1, 16, 4000))
+        code = HuffmanCode.from_frequencies(np.bincount(syms, minlength=16))
+        payload, _ = huffman_encode(syms, code)
+        assert len(payload) < 4000 * 0.6

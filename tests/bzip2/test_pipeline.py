@@ -1,0 +1,78 @@
+"""The full BZIP2-style pipeline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bzip2.pipeline import Bzip2Result, compress, decompress
+
+
+class TestRoundTrip:
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(max_size=3000))
+    def test_random(self, data):
+        assert decompress(compress(data, block_size=1000).blob) == data
+
+    def test_multi_block(self, text_data):
+        r = compress(text_data, block_size=3000)
+        assert len(r.block_stats) == -(-len(text_data) // 3000)
+        assert decompress(r.blob) == text_data
+
+    def test_default_block_size(self, text_data):
+        assert decompress(compress(text_data).blob) == text_data
+
+    def test_empty(self):
+        r = compress(b"")
+        assert decompress(r.blob) == b""
+        assert r.block_stats == []
+
+    def test_runny(self, runny_data):
+        assert decompress(compress(runny_data).blob) == runny_data
+
+
+class TestBehaviour:
+    def test_compresses_text_well(self, text_data):
+        # BZIP2 beats LZSS on text (Table II's consistent pattern)
+        from repro.lzss.encoder import encode
+        from repro.lzss.formats import SERIAL
+
+        bz = compress(text_data)
+        lz = encode(text_data, SERIAL)
+        assert bz.ratio < lz.stats.ratio
+
+    def test_random_data_incompressible(self, binary_data):
+        r = compress(binary_data)
+        assert 0.95 < r.ratio < 1.15
+
+    def test_block_stats_populated(self, text_data):
+        r = compress(text_data, block_size=4000)
+        for st_ in r.block_stats:
+            assert st_.orig_bytes > 0
+            assert st_.rle1_bytes > 0
+            assert st_.n_symbols > 0
+            assert st_.mean_lcp >= 0.0
+
+    def test_periodic_data_reports_big_lcp(self):
+        r = compress(b"abcdefghij" * 800)
+        assert r.block_stats[0].mean_lcp > 100
+
+    def test_rle1_shrinks_runny_blocks(self):
+        r = compress(b"a" * 5000 + b"b" * 5000)
+        assert r.block_stats[0].rle1_bytes < 250
+
+
+class TestCorruption:
+    def test_bad_magic(self, text_data):
+        blob = bytearray(compress(text_data[:500]).blob)
+        blob[0] ^= 0xFF
+        with pytest.raises(ValueError, match="magic"):
+            decompress(bytes(blob))
+
+    def test_truncated(self, text_data):
+        blob = compress(text_data[:500]).blob
+        with pytest.raises(Exception):
+            decompress(blob[: len(blob) // 2])
+
+    def test_ratio_property(self):
+        assert Bzip2Result(blob=b"12345", original_size=0,
+                           block_stats=[]).ratio == 1.0

@@ -1,0 +1,169 @@
+"""BZIP2 pipeline stages: each transform and its inverse."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bzip2.bwt import adjacent_lcp, bwt_inverse, bwt_transform, rotation_order
+from repro.bzip2.mtf import mtf_decode, mtf_encode, mtf_encode_reference
+from repro.bzip2.rle1 import rle1_decode, rle1_encode
+from repro.bzip2.rle2 import RUNA, RUNB, rle2_decode, rle2_encode
+
+
+class TestRle1:
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(max_size=600))
+    def test_roundtrip(self, data):
+        assert rle1_decode(rle1_encode(data)) == data
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 600), st.integers(0, 255))
+    def test_single_runs(self, n, byte):
+        data = bytes([byte]) * n
+        assert rle1_decode(rle1_encode(data)) == data
+
+    def test_collapses_long_runs(self):
+        data = b"a" * 200
+        assert len(rle1_encode(data)) == 5  # aaaa + count(196)
+
+    def test_short_runs_passthrough(self):
+        assert rle1_encode(b"aabbcc") == b"aabbcc"
+
+    def test_run_of_exactly_four(self):
+        assert rle1_encode(b"aaaa") == b"aaaa\x00"
+
+    def test_max_segment_split(self):
+        data = b"x" * 300  # > 259, must split
+        enc = rle1_encode(data)
+        assert rle1_decode(enc) == data
+
+    def test_count_byte_colliding_with_value(self):
+        # run of 4+97 'a's: the count byte is also 'a'
+        data = b"a" * 101
+        assert rle1_decode(rle1_encode(data)) == data
+
+    def test_empty(self):
+        assert rle1_encode(b"") == b""
+        assert rle1_decode(b"") == b""
+
+    def test_truncated_run_header_rejected(self):
+        with pytest.raises(ValueError):
+            rle1_decode(b"aaaa")  # missing count byte
+
+
+class TestBwt:
+    def naive(self, s: bytes):
+        n = len(s)
+        rots = sorted(range(n), key=lambda i: s[i:] + s[:i])
+        return bytes(s[(i - 1) % n] for i in rots), rots.index(0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=0, max_size=200))
+    def test_roundtrip(self, data):
+        last, primary = bwt_transform(data)
+        assert bwt_inverse(last, primary) == data
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=1, max_size=80))
+    def test_last_column_matches_naive(self, data):
+        last, _ = bwt_transform(data)
+        naive_last, _ = self.naive(data)
+        assert last == naive_last
+
+    @pytest.mark.parametrize("data", [b"banana", b"aaaa", b"abab" * 10,
+                                      b"abcabcabc", b"x"])
+    def test_periodic_and_degenerate(self, data):
+        last, primary = bwt_transform(data)
+        assert bwt_inverse(last, primary) == data
+
+    def test_groups_like_characters(self):
+        last, _ = bwt_transform(b"this is a test, this is only a test. " * 8)
+        # BWT's whole point: the last column clumps; runs must appear
+        runs = sum(1 for a, b in zip(last, last[1:]) if a == b)
+        assert runs > len(last) * 0.4
+
+    def test_primary_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            bwt_inverse(b"abc", 5)
+
+
+class TestAdjacentLcp:
+    def test_matches_naive_rotation_lcp(self):
+        data = b"mississippi"
+        arr = np.frombuffer(data, dtype=np.uint8)
+        order = rotation_order(arr)
+        lcp = adjacent_lcp(arr, order, cap=32)
+        n = len(data)
+        rots = [data[i:] + data[:i] for i in order]
+        for k in range(1, n):
+            a, b = rots[k - 1], rots[k]
+            expect = 0
+            while expect < n and a[expect] == b[expect]:
+                expect += 1
+            assert lcp[k - 1] == min(expect, 32)
+
+    def test_periodic_data_has_huge_lcp(self):
+        data = b"abcde" * 200
+        arr = np.frombuffer(data, dtype=np.uint8)
+        lcp = adjacent_lcp(arr, rotation_order(arr), cap=64)
+        assert lcp.mean() > 50  # the bzip2 blow-up driver
+
+    def test_random_data_has_tiny_lcp(self, binary_data):
+        arr = np.frombuffer(binary_data, dtype=np.uint8)
+        lcp = adjacent_lcp(arr, rotation_order(arr))
+        assert lcp.mean() < 4
+
+
+class TestMtf:
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(max_size=400))
+    def test_vectorized_matches_reference(self, data):
+        assert mtf_encode(data) == mtf_encode_reference(data)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(max_size=400))
+    def test_roundtrip(self, data):
+        assert mtf_decode(mtf_encode(data)) == data
+
+    def test_first_occurrence_ranks(self):
+        # initial table is 0..255 in order
+        assert mtf_encode(bytes([5, 0])) == bytes([5, 1])
+
+    def test_repeat_is_zero(self):
+        assert mtf_encode(b"aa")[1] == 0
+
+    def test_clumped_input_yields_zeros(self):
+        out = mtf_encode(b"a" * 50 + b"b" * 50)
+        assert out.count(0) >= 98
+
+
+class TestRle2:
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(max_size=400))
+    def test_roundtrip(self, data):
+        assert rle2_decode(rle2_encode(data)) == data
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 1000))
+    def test_zero_runs_bijective_base2(self, n):
+        syms = rle2_encode(bytes(n))
+        assert set(syms.tolist()) <= {RUNA, RUNB}
+        assert syms.size <= int(np.log2(n + 1)) + 1
+        assert rle2_decode(syms) == bytes(n)
+
+    def test_known_digit_encodings(self):
+        assert rle2_encode(b"\x00").tolist() == [RUNA]
+        assert rle2_encode(b"\x00\x00").tolist() == [RUNB]
+        assert rle2_encode(b"\x00\x00\x00").tolist() == [RUNA, RUNA]
+
+    def test_values_shift_up(self):
+        assert rle2_encode(b"\x01\xff").tolist() == [2, 256]
+
+    def test_out_of_range_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            rle2_decode(np.array([257]))
+
+    def test_empty(self):
+        assert rle2_encode(b"").size == 0
+        assert rle2_decode(np.array([], dtype=np.int64)) == b""

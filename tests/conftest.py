@@ -1,0 +1,43 @@
+"""Shared fixtures: deterministic sample buffers and format parametrization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lzss.formats import CUDA_V1, CUDA_V2, SERIAL
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xA11CE)
+
+
+@pytest.fixture(scope="session")
+def text_data(rng) -> bytes:
+    """Compressible text-like bytes (~20 KiB) with local repetition."""
+    words = [bytes(rng.integers(97, 123, int(rng.integers(3, 9)),
+                                dtype=np.uint8)) for _ in range(50)]
+    weights = 1.0 / np.arange(1, 51)
+    weights /= weights.sum()
+    picks = rng.choice(50, 4000, p=weights)
+    return b" ".join(words[i] for i in picks)[:20_000]
+
+
+@pytest.fixture(scope="session")
+def binary_data(rng) -> bytes:
+    """Poorly compressible bytes (~8 KiB)."""
+    return rng.integers(0, 256, 8192, dtype=np.uint8).tobytes()
+
+
+@pytest.fixture(scope="session")
+def runny_data() -> bytes:
+    """Run-heavy bytes: repeating 20-byte patterns (the paper's custom set)."""
+    return (b"abcdefghijklmnopqrst" * 300 + b"0123456789!@#$%^&*()" * 200)[:9000]
+
+
+@pytest.fixture(params=[SERIAL, CUDA_V1, CUDA_V2],
+                ids=["serial", "cuda_v1", "cuda_v2"])
+def fmt(request):
+    """Parametrize over the three paper token formats."""
+    return request.param

@@ -1,0 +1,50 @@
+"""Golden-stream regression tests — on-disk format stability.
+
+A downstream user's archives must stay decodable across library
+versions, so the exact bytes of small containers are frozen here.  If
+one of these fails, the wire format changed: either revert, or bump
+the container version and add migration handling — never just update
+the constant.
+"""
+
+from repro.container import pack_container
+from repro.core.api import gpu_compress, gpu_decompress
+from repro.core.params import CompressionParams
+from repro.cpu import SerialLzss
+from repro.lzss.encoder import encode_chunked
+from repro.lzss.formats import CUDA_V2
+
+PAYLOAD = b"golden golden golden stream! " * 4
+
+SERIAL_GOLDEN = (
+    "434c5a5301010000740000000000000000000000000000007578c389c59844ff"
+    "b3dbed964b2dba40006bb9dd2e565b0db642015c00e78073c039e01cf900"
+)
+
+V2_GOLDEN = (
+    "434c5a530103010074000000000000004000000002000000d07cff9aabe64dfd"
+    "1700000017000000b3dbed964b2dba40060bb9dd2e565b0db642150c0e090090"
+    "59edf6cb2596dc0605b9dd2e565b0db642150c0e0600"
+)
+
+
+def test_serial_container_bytes_frozen():
+    blob = SerialLzss().compress_container(PAYLOAD)
+    assert blob.hex() == SERIAL_GOLDEN
+
+
+def test_v2_container_bytes_frozen():
+    blob = pack_container(encode_chunked(PAYLOAD, CUDA_V2, 64))
+    assert blob.hex() == V2_GOLDEN
+
+
+def test_frozen_blobs_still_decode():
+    # Decoding yesterday's archives is the actual promise.
+    assert SerialLzss().decompress_container(
+        bytes.fromhex(SERIAL_GOLDEN)) == PAYLOAD
+    assert gpu_decompress(bytes.fromhex(V2_GOLDEN)).data == PAYLOAD
+
+
+def test_api_blob_round_trips():
+    buf = gpu_compress(PAYLOAD, CompressionParams(version=2))
+    assert gpu_decompress(buf.data).data == PAYLOAD

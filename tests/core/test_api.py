@@ -1,0 +1,79 @@
+"""The in-memory gpu_compress/gpu_decompress API (Figure 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import gpu_compress, gpu_decompress
+from repro.core.params import CompressionParams
+
+
+class TestRoundTrip:
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(min_size=1, max_size=3000))
+    def test_property(self, data):
+        for version in (1, 2):
+            buf = gpu_compress(data, CompressionParams(version=version))
+            assert gpu_decompress(buf.data).data == data
+
+    def test_all_buffer_types_accepted(self, text_data):
+        expected = gpu_compress(text_data).data
+        assert gpu_compress(bytearray(text_data)).data == expected
+        assert gpu_compress(memoryview(text_data)).data == expected
+        arr = np.frombuffer(text_data, dtype=np.uint8)
+        assert gpu_compress(arr).data == expected
+
+    def test_empty_buffer(self):
+        buf = gpu_compress(b"")
+        assert gpu_decompress(buf.data).data == b""
+        assert buf.modeled_seconds == 0.0
+
+
+class TestVersionSelection:
+    def test_version_changes_format(self, text_data):
+        v1 = gpu_compress(text_data, CompressionParams(version=1))
+        v2 = gpu_compress(text_data, CompressionParams(version=2))
+        assert v1.result.format.name == "cuda_v1"
+        assert v2.result.format.name == "cuda_v2"
+        assert v1.data != v2.data
+
+    def test_both_decode_identically(self, text_data):
+        for version in (1, 2):
+            buf = gpu_compress(text_data, CompressionParams(version=version))
+            assert gpu_decompress(buf.data).data == text_data
+
+    def test_default_is_v2(self, text_data):
+        assert gpu_compress(text_data).result.format.name == "cuda_v2"
+
+
+class TestMetadata:
+    def test_ratio_counts_container(self, text_data):
+        buf = gpu_compress(text_data)
+        assert buf.ratio == pytest.approx(len(buf.data) / len(text_data))
+        assert buf.compressed_size == len(buf.data)
+
+    def test_profiles_attached(self, text_data):
+        buf = gpu_compress(text_data)
+        assert buf.modeled_seconds > 0
+        dec = gpu_decompress(buf.data)
+        assert dec.modeled_seconds > 0
+
+    def test_sweep_params_rejected_for_containers(self, text_data):
+        with pytest.raises(ValueError, match="window"):
+            gpu_compress(text_data, CompressionParams(version=2, window=64))
+
+    def test_corrupt_blob_rejected(self, text_data):
+        blob = bytearray(gpu_compress(text_data).data)
+        blob[-1] ^= 0xFF
+        with pytest.raises(ValueError):
+            gpu_decompress(bytes(blob))
+
+
+class TestGatewayScenario:
+    def test_in_equals_out_through_gateway_pair(self, text_data,
+                                                 binary_data, runny_data):
+        """§III: 'the data looks the same going in as coming out'."""
+        for payload in (text_data, binary_data, runny_data):
+            wire = gpu_compress(payload).data
+            assert gpu_decompress(wire).data == payload

@@ -1,0 +1,105 @@
+"""§VII extensions: the streaming pipeline and the heterogeneous split."""
+
+import pytest
+
+from repro.core import (
+    CompressionParams,
+    HeterogeneousCompressor,
+    StreamingPipeline,
+    gpu_decompress,
+)
+from repro.core.pipeline import _schedule
+from repro.datasets import generate
+
+
+class TestPipelineScheduler:
+    def test_single_buffer_is_stage_sum(self):
+        stages = [{"h2d": 1.0, "kernel": 4.0, "d2h": 1.0, "cpu": 2.0}]
+        assert _schedule(stages) == pytest.approx(8.0)
+
+    def test_steady_state_dominated_by_slowest_stage(self):
+        one = {"h2d": 1.0, "kernel": 4.0, "d2h": 1.0, "cpu": 2.0}
+        many = _schedule([dict(one)] * 10)
+        # fill (8) + 9 more kernels (the bottleneck stage)
+        assert many == pytest.approx(8.0 + 9 * 4.0)
+
+    def test_never_faster_than_bottleneck(self):
+        one = {"h2d": 0.5, "kernel": 3.0, "d2h": 0.5, "cpu": 0.5}
+        total = _schedule([dict(one)] * 5)
+        assert total >= 5 * 3.0
+
+    def test_empty_stream(self):
+        assert _schedule([]) == 0.0
+
+
+class TestStreamingPipeline:
+    @pytest.fixture(scope="class")
+    def buffers(self):
+        return [generate("cfiles", 128 * 1024, seed=i) for i in range(3)]
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_functional_roundtrip(self, buffers, version):
+        pipe = StreamingPipeline(CompressionParams(version=version))
+        res = pipe.compress_stream(buffers)
+        assert len(res.containers) == len(buffers)
+        for blob, buf in zip(res.containers, buffers):
+            assert gpu_decompress(blob).data == buf
+
+    def test_pipelining_helps_never_hurts(self, buffers):
+        res = StreamingPipeline().compress_stream(buffers)
+        assert res.pipelined_seconds <= res.sequential_seconds + 1e-12
+        assert res.overlap_speedup >= 1.0
+
+    def test_stage_accounting(self, buffers):
+        res = StreamingPipeline().compress_stream(buffers)
+        assert res.sequential_seconds == pytest.approx(
+            sum(res.stage_seconds.values()))
+        assert res.input_bytes == sum(len(b) for b in buffers)
+        assert 0 < res.ratio < 1.2
+
+    def test_empty_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingPipeline().compress_stream([b""])
+
+
+class TestHeterogeneous:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate("cfiles", 384 * 1024)
+
+    def test_roundtrip(self, data):
+        het = HeterogeneousCompressor()
+        blob, _plan = het.compress(data)
+        assert het.decompress(blob) == data
+
+    def test_plan_balances_devices(self, data):
+        plan = HeterogeneousCompressor().plan(data)
+        assert 0.0 < plan.gpu_fraction < 1.0
+        # the equal-finish split: both devices end within a whisker
+        assert plan.gpu_seconds == pytest.approx(plan.cpu_seconds, rel=0.01)
+
+    def test_combined_beats_either_alone(self, data):
+        plan = HeterogeneousCompressor().plan(data)
+        n = len(data)
+        t_gpu_alone = plan.gpu_seconds / plan.gpu_fraction
+        t_cpu_alone = plan.cpu_seconds / (1 - plan.gpu_fraction)
+        assert plan.makespan < t_gpu_alone
+        assert plan.makespan < t_cpu_alone
+
+    def test_v1_variant(self, data):
+        het = HeterogeneousCompressor(CompressionParams(version=1))
+        blob, plan = het.compress(data)
+        assert het.decompress(blob) == data
+        assert 0 < plan.gpu_fraction < 1
+
+    def test_corrupt_frame_rejected(self, data):
+        het = HeterogeneousCompressor()
+        blob, _ = het.compress(data)
+        with pytest.raises(ValueError):
+            het.decompress(b"XXXX" + blob[4:])
+        with pytest.raises(ValueError):
+            het.decompress(blob[:-3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousCompressor().plan(b"")

@@ -1,0 +1,50 @@
+"""Shared kernel-cost reduction helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import per_block_sums, v1_conflict_degree, warp_max_sums
+
+
+class TestWarpMaxSums:
+    def test_single_group(self):
+        lanes = np.zeros(64)
+        lanes[3] = 10.0   # warp 0
+        lanes[40] = 7.0   # warp 1
+        out = warp_max_sums(lanes, 64)
+        assert out.tolist() == [17.0]
+
+    def test_multiple_groups(self):
+        lanes = np.arange(128, dtype=float)
+        out = warp_max_sums(lanes, 64)
+        # group 0: warps max 31, 63; group 1: 95, 127
+        assert out.tolist() == [31.0 + 63.0, 95.0 + 127.0]
+
+    def test_padding(self):
+        out = warp_max_sums(np.array([5.0]), 32)
+        assert out.tolist() == [5.0]
+
+    def test_group_must_be_warp_multiple(self):
+        with pytest.raises(ValueError):
+            warp_max_sums(np.ones(10), 48)
+
+    def test_uniform_lanes_equal_single_lane_per_warp(self):
+        lanes = np.full(256, 3.0)
+        out = warp_max_sums(lanes, 128)
+        assert out.tolist() == [12.0, 12.0]  # 4 warps × 3.0 each
+
+
+class TestPerBlockSums:
+    def test_basic(self):
+        out = per_block_sums(np.arange(6, dtype=float), 3)
+        assert out.tolist() == [3.0, 12.0]
+
+    def test_padding(self):
+        out = per_block_sums(np.array([1.0, 2.0]), 4)
+        assert out.tolist() == [3.0]
+
+
+def test_v1_conflict_degree_cached_constant():
+    a = v1_conflict_degree()
+    assert a == v1_conflict_degree()
+    assert 3.0 < a < 4.0

@@ -1,0 +1,84 @@
+"""CompressionParams and library initialization."""
+
+import pytest
+
+from repro.core.library import CulzssLibrary, get_library
+from repro.core.params import CompressionParams
+from repro.lzss.constants import CUDA_CHUNK_SIZE, CUDA_WINDOW
+
+
+class TestParams:
+    def test_defaults_are_the_papers(self):
+        p = CompressionParams()
+        assert p.version == 2
+        assert p.window == CUDA_WINDOW == 128
+        assert p.chunk_size == CUDA_CHUNK_SIZE == 4096
+        assert p.threads_per_block == 128
+        assert p.device.name == "GeForce GTX 480"
+
+    def test_version_validated(self):
+        with pytest.raises(ValueError):
+            CompressionParams(version=3)
+
+    def test_window_cannot_exceed_chunk(self):
+        with pytest.raises(ValueError):
+            CompressionParams(window=256, chunk_size=128)
+
+    def test_v1_format_is_serial_token(self):
+        p = CompressionParams(version=1)
+        fmt = p.token_format
+        assert fmt.name == "cuda_v1"
+        assert fmt.pair_bits == 17
+        assert fmt.window == 4096
+
+    def test_v2_format(self):
+        fmt = CompressionParams(version=2).token_format
+        assert fmt.name == "cuda_v2"
+        assert fmt.window == 128
+        assert fmt.max_match == 66
+
+    def test_custom_window_builds_sweep_format(self):
+        p = CompressionParams(version=2, window=256)
+        fmt = p.token_format
+        assert fmt.window == 256
+        assert fmt.offset_bits == 8
+        assert not p.is_standard_format
+
+    def test_slice_size(self):
+        assert CompressionParams(version=1).slice_size == 32
+        assert CompressionParams(version=1,
+                                 threads_per_block=64).slice_size == 64
+
+    def test_shared_bytes(self):
+        v1 = CompressionParams(version=1)
+        assert v1.shared_bytes_per_block == 4096 + 128 * 48
+        v2 = CompressionParams(version=2)
+        assert v2.shared_bytes_per_block == 128 + 128 + 32
+
+    def test_buffers_in_global_claim_nothing(self):
+        p = CompressionParams(version=1, buffers_in_shared=False)
+        assert p.shared_bytes_per_block == 0
+
+    def test_with_overrides(self):
+        p = CompressionParams().with_overrides(threads_per_block=64)
+        assert p.threads_per_block == 64
+        assert p.version == 2
+
+
+class TestLibrary:
+    def test_detects_the_testbed_card(self):
+        lib = CulzssLibrary()
+        assert lib.default_device.name == "GeForce GTX 480"
+
+    def test_capabilities(self):
+        caps = CulzssLibrary().capabilities()
+        assert caps["cuda_cores"] == 480
+        assert caps["versions"] == (1, 2)
+
+    def test_singleton(self):
+        assert get_library() is get_library()
+
+    def test_default_params_bound_to_device(self):
+        p = get_library().default_params(version=1)
+        assert p.version == 1
+        assert p.device.name == "GeForce GTX 480"

@@ -1,0 +1,40 @@
+"""Property tests for the streaming-pipeline scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import STAGES, _schedule
+
+stage_dicts = st.lists(
+    st.fixed_dictionaries({s: st.floats(0.0, 10.0, allow_nan=False)
+                           for s in STAGES}),
+    min_size=0, max_size=12,
+)
+
+
+class TestScheduleProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(stage_dicts)
+    def test_bounded_by_sum_and_bottleneck(self, buffers):
+        total = _schedule(buffers)
+        sequential = sum(sum(b.values()) for b in buffers)
+        assert total <= sequential + 1e-9
+        for s in STAGES:
+            assert total >= sum(b[s] for b in buffers) - 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(stage_dicts, st.fixed_dictionaries(
+        {s: st.floats(0.0, 10.0, allow_nan=False) for s in STAGES}))
+    def test_monotone_in_buffers(self, buffers, extra):
+        assert _schedule(buffers + [extra]) >= _schedule(buffers) - 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(stage_dicts)
+    def test_includes_first_buffer_fill(self, buffers):
+        if not buffers:
+            return
+        assert _schedule(buffers) >= sum(buffers[0].values()) - 1e-9
+
+    def test_zero_stages(self):
+        assert _schedule([{s: 0.0 for s in STAGES}] * 4) == 0.0

@@ -1,0 +1,34 @@
+"""The tunable-compressibility generator (crossover-study input)."""
+
+import pytest
+
+from repro.datasets.tunable import generate_tunable
+from repro.lzss.encoder import encode
+from repro.lzss.formats import SERIAL
+
+
+def test_exact_size_and_determinism():
+    a = generate_tunable(50_000, 0.5)
+    b = generate_tunable(50_000, 0.5)
+    assert len(a) == 50_000
+    assert a == b
+
+
+def test_ratio_monotone_in_repetition():
+    ratios = []
+    for rep in (0.0, 0.25, 0.5, 0.75, 1.0):
+        data = generate_tunable(96 * 1024, rep)
+        ratios.append(encode(data, SERIAL).stats.ratio)
+    assert all(a > b for a, b in zip(ratios, ratios[1:]))
+
+
+def test_endpoints():
+    noise = generate_tunable(64 * 1024, 0.0)
+    runs = generate_tunable(64 * 1024, 1.0)
+    assert encode(noise, SERIAL).stats.ratio > 1.0
+    assert encode(runs, SERIAL).stats.ratio < 0.35
+
+
+def test_repetition_validated():
+    with pytest.raises(ValueError):
+        generate_tunable(1000, 1.5)

@@ -1,0 +1,80 @@
+"""Coalescing and bank-conflict analysis (§III.D's two memory effects)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.memory import (
+    bank_conflict_degree,
+    coalesced_transactions,
+    expected_random_conflict_degree,
+    strided_transactions,
+)
+
+
+class TestCoalescing:
+    def test_contiguous_warp_is_one_transaction(self):
+        # "Coalesced accesses that fit into a block can be done by just
+        # one memory transaction" (§III.D).
+        addrs = np.arange(128)
+        assert coalesced_transactions(addrs) == 1
+
+    def test_contiguous_but_misaligned_is_two(self):
+        assert coalesced_transactions(np.arange(64, 192)) == 2
+
+    def test_full_scatter_is_one_per_lane(self):
+        addrs = np.arange(32) * 4096
+        assert coalesced_transactions(addrs) == 32
+
+    def test_same_address_broadcast(self):
+        assert coalesced_transactions(np.zeros(32, dtype=np.int64)) == 1
+
+    def test_empty(self):
+        assert coalesced_transactions(np.array([], dtype=np.int64)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            coalesced_transactions(np.array([-1]))
+
+    @pytest.mark.parametrize("stride,expect", [(1, 1), (4, 1), (8, 2),
+                                               (128, 32), (4096, 32)])
+    def test_strided(self, stride, expect):
+        assert strided_transactions(0, stride, 32) == expect
+
+
+class TestBankConflicts:
+    def test_sequential_words_conflict_free(self):
+        addrs = np.arange(32) * 4
+        assert bank_conflict_degree(addrs) == 1
+
+    def test_v2_stagger_is_conflict_free(self):
+        # §III.B.2: "setting each thread with an offset of 4 characters
+        # (32 bytes) distance" — stride 33 words is conflict-free.
+        addrs = np.arange(32) * 33 * 4
+        assert bank_conflict_degree(addrs) == 1
+
+    def test_stride_32_words_fully_serializes(self):
+        addrs = np.arange(32) * 32 * 4
+        assert bank_conflict_degree(addrs) == 32
+
+    def test_v1_per_thread_buffer_stride_serializes(self):
+        # V1's 128-byte-per-thread layout: lane l at base + 128·l all
+        # map to the same bank.
+        addrs = np.arange(32) * 128
+        assert bank_conflict_degree(addrs) == 32
+
+    def test_broadcast_does_not_conflict(self):
+        assert bank_conflict_degree(np.full(32, 64)) == 1
+
+    def test_two_way(self):
+        addrs = np.concatenate([np.arange(16) * 4, np.arange(16) * 4 + 128])
+        assert bank_conflict_degree(addrs) == 2
+
+
+class TestRandomConflictDegree:
+    def test_value_near_balls_in_bins_expectation(self):
+        deg = expected_random_conflict_degree()
+        assert 3.0 < deg < 4.0  # E[max load], 32 balls in 32 bins
+
+    def test_deterministic(self):
+        assert (expected_random_conflict_degree()
+                == expected_random_conflict_degree())

@@ -1,0 +1,75 @@
+"""Pipeline profiles (overlap math) and the multi-GPU negative result."""
+
+import pytest
+
+from repro.gpusim.multi import simulate_multi_gpu
+from repro.gpusim.profiler import GpuProfile
+from repro.gpusim.spec import FERMI_GTX480
+
+
+class TestProfile:
+    def test_sequential_phases_sum(self):
+        p = GpuProfile()
+        p.add("a", 1.0)
+        p.add("b", 2.0)
+        assert p.total_seconds == 3.0
+
+    def test_overlapped_phase_hidden(self):
+        p = GpuProfile()
+        p.add("kernel", 5.0)
+        p.add("cpu", 3.0, overlap_with="kernel")
+        assert p.total_seconds == 5.0
+
+    def test_overlap_excess_exposed(self):
+        p = GpuProfile()
+        p.add("kernel", 2.0)
+        p.add("cpu", 5.0, overlap_with="kernel")
+        assert p.total_seconds == 5.0
+
+    def test_phase_seconds_accumulates(self):
+        p = GpuProfile()
+        p.add("kernel", 1.0)
+        p.add("kernel", 2.0)
+        assert p.phase_seconds("kernel") == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GpuProfile().add("x", -1.0)
+
+    def test_report_lists_phases(self):
+        p = GpuProfile()
+        p.add("h2d", 0.5)
+        p.add("fixup", 0.1, overlap_with="h2d")
+        report = p.report()
+        assert "h2d" in report and "TOTAL" in report and "hidden" in report
+
+
+class TestMultiGpu:
+    def test_single_device_has_no_overhead(self):
+        run = simulate_multi_gpu(FERMI_GTX480, 4.0, 1.0, devices=1)
+        assert run.total_seconds == pytest.approx(5.0)
+
+    def test_kernel_divides_transfers_do_not(self):
+        run = simulate_multi_gpu(FERMI_GTX480, 4.0, 1.0, devices=2)
+        assert run.kernel_seconds == 2.0
+        assert run.transfer_seconds == 1.0
+        assert run.thread_overhead_seconds > 0
+
+    def test_paper_negative_result_no_gain_for_small_kernels(self):
+        # §VII: multi-GPU "could not receive any gains" — when the
+        # kernel share is small, thread overhead and the serialized
+        # PCIe wipe out the division.
+        single = simulate_multi_gpu(FERMI_GTX480, 0.05, 0.05,
+                                    devices=1, dispatches_per_device=32)
+        dual = simulate_multi_gpu(FERMI_GTX480, 0.05, 0.05,
+                                  devices=2, dispatches_per_device=32)
+        assert dual.total_seconds >= single.total_seconds
+
+    def test_big_kernels_do_gain(self):
+        # The model is not rigged: genuinely kernel-dominated runs win.
+        single = simulate_multi_gpu(FERMI_GTX480, 100.0, 0.1, devices=4)
+        assert single.total_seconds < 100.0
+
+    def test_device_count_validated(self):
+        with pytest.raises(ValueError):
+            simulate_multi_gpu(FERMI_GTX480, 1.0, 1.0, devices=0)

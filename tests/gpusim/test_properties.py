@@ -1,0 +1,77 @@
+"""Property tests on the GPU simulator's monotonicity and bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.kernel import BlockCost, KernelLaunch, launch_kernel, warp_lockstep_cycles
+from repro.gpusim.memory import bank_conflict_degree, coalesced_transactions
+from repro.gpusim.scheduler import latency_hiding_factor, occupancy
+from repro.gpusim.spec import FERMI_GTX480
+
+
+class TestOccupancyProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 1024), st.integers(0, 16384))
+    def test_resident_warps_bounded(self, threads, shared):
+        occ = occupancy(FERMI_GTX480, threads, shared)
+        assert 0 <= occ.resident_warps <= FERMI_GTX480.max_warps_per_sm + 7
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 1024), st.integers(0, 8192), st.integers(1, 8192))
+    def test_more_shared_never_more_blocks(self, threads, shared, extra):
+        a = occupancy(FERMI_GTX480, threads, shared)
+        b = occupancy(FERMI_GTX480, threads, shared + extra)
+        assert b.resident_blocks <= a.resident_blocks
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 16384))
+    def test_hiding_factor_in_range(self, shared):
+        occ = occupancy(FERMI_GTX480, 128, shared)
+        if occ.launchable:
+            assert 0.05 <= latency_hiding_factor(FERMI_GTX480, occ) <= 1.0
+
+
+class TestMemoryProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=32))
+    def test_transactions_bounded_by_lanes(self, addrs):
+        txn = coalesced_transactions(np.array(addrs))
+        assert 1 <= txn <= len(addrs)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=32))
+    def test_conflict_degree_bounded(self, addrs):
+        deg = bank_conflict_degree(np.array(addrs))
+        assert 1 <= deg <= len(addrs)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=32))
+    def test_duplicating_addresses_never_increases_degree(self, addrs):
+        base = bank_conflict_degree(np.array(addrs))
+        doubled = bank_conflict_degree(np.array(addrs + addrs))
+        assert doubled == base  # same distinct words
+
+
+class TestKernelProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0.0, 1e6, allow_nan=False),
+                    min_size=1, max_size=128))
+    def test_lockstep_between_max_and_sum(self, lanes):
+        arr = np.array(lanes)
+        cost = warp_lockstep_cycles(arr, 32)
+        assert cost >= arr.max() - 1e-6
+        assert cost <= arr.sum() + 1e-6
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(1.0, 1e7, allow_nan=False),
+                    min_size=1, max_size=40))
+    def test_kernel_time_monotone_in_block_work(self, works):
+        def t(scale):
+            blocks = [BlockCost(compute_cycles=w * scale) for w in works]
+            return launch_kernel(FERMI_GTX480, KernelLaunch(
+                name="k", threads_per_block=128, shared_mem_per_block=0,
+                blocks=blocks)).cycles
+
+        assert t(2.0) >= t(1.0) - 1e-6

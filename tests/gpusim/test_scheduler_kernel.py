@@ -1,0 +1,168 @@
+"""Occupancy, scheduling, and kernel-launch timing."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.kernel import (
+    BlockCost,
+    KernelLaunch,
+    launch_kernel,
+    warp_lockstep_cycles,
+)
+from repro.gpusim.scheduler import latency_hiding_factor, occupancy
+from repro.gpusim.spec import FERMI_GTX480, DeviceSpec
+from repro.gpusim.timing import transfer_time
+
+
+class TestOccupancy:
+    def test_shared_memory_limits_v1_blocks(self):
+        # V1's ~10 KB per block ⇒ one resident block on a 16 KB SM.
+        occ = occupancy(FERMI_GTX480, 128, 10240)
+        assert occ.resident_blocks == 1
+        assert "shared" in occ.limiter
+
+    def test_small_footprint_hits_block_cap(self):
+        occ = occupancy(FERMI_GTX480, 128, 288)
+        assert occ.resident_blocks == 8
+        assert occ.resident_warps == 32
+
+    def test_threads_limit(self):
+        occ = occupancy(FERMI_GTX480, 512, 0)
+        assert occ.resident_blocks == 3  # 1536 // 512
+
+    def test_oversized_block_unlaunchable(self):
+        occ = occupancy(FERMI_GTX480, 128, 20_000)
+        assert not occ.launchable
+
+    def test_paper_claim_hi_thread_counts_squeeze_v1_buffers(self):
+        # §V: "256 to 512 threads ... limits us to put the whole
+        # buffers into the shared memory".  V1's per-block footprint
+        # (chunk + threads·48) exactly exhausts the 16 KB SM at 256
+        # threads and stops fitting at 512.
+        at_256 = occupancy(FERMI_GTX480, 256, 4096 + 256 * 48)
+        assert at_256.resident_blocks == 1
+        assert not occupancy(FERMI_GTX480, 512, 4096 + 512 * 48).launchable
+
+
+class TestLatencyHiding:
+    def test_more_warps_hide_more(self):
+        lo = occupancy(FERMI_GTX480, 128, 10240)   # 4 warps
+        hi = occupancy(FERMI_GTX480, 128, 288)     # 32 warps
+        assert (latency_hiding_factor(FERMI_GTX480, hi)
+                < latency_hiding_factor(FERMI_GTX480, lo))
+
+    def test_bounds(self):
+        for shared in (288, 2048, 10240):
+            occ = occupancy(FERMI_GTX480, 128, shared)
+            f = latency_hiding_factor(FERMI_GTX480, occ)
+            assert 0.05 <= f <= 1.0
+
+
+class TestWarpLockstep:
+    def test_max_over_lanes(self):
+        lanes = np.zeros(64)
+        lanes[5] = 100.0
+        lanes[40] = 7.0
+        assert warp_lockstep_cycles(lanes, 32) == 107.0
+
+    def test_uniform_lanes(self):
+        assert warp_lockstep_cycles(np.full(32, 3.0), 32) == 3.0
+
+    def test_padding(self):
+        assert warp_lockstep_cycles(np.array([5.0]), 32) == 5.0
+
+    def test_empty(self):
+        assert warp_lockstep_cycles(np.array([]), 32) == 0.0
+
+
+class TestLaunchKernel:
+    def _launch(self, blocks, shared=288):
+        return KernelLaunch(name="k", threads_per_block=128,
+                            shared_mem_per_block=shared, blocks=blocks)
+
+    def test_single_block(self):
+        t = launch_kernel(FERMI_GTX480, self._launch(
+            [BlockCost(compute_cycles=1.4e6)]))
+        assert t.seconds > 0
+        assert t.breakdown["resident_blocks"] == 8
+
+    def test_time_scales_with_blocks(self):
+        one = launch_kernel(FERMI_GTX480, self._launch(
+            [BlockCost(compute_cycles=1e6)]))
+        many = launch_kernel(FERMI_GTX480, self._launch(
+            [BlockCost(compute_cycles=1e6)] * 150))
+        assert many.cycles > one.cycles * 5  # 10 blocks per SM
+
+    def test_straggler_sm_dominates(self):
+        # 16 blocks over 15 SMs: one SM gets two blocks.
+        blocks = [BlockCost(compute_cycles=1e6)] * 16
+        t = launch_kernel(FERMI_GTX480, self._launch(blocks))
+        assert t.breakdown["sm_cycles"] >= 2 * (1e6 / 2)
+
+    def test_bank_conflicts_serialize_shared(self):
+        clean = launch_kernel(FERMI_GTX480, self._launch(
+            [BlockCost(compute_cycles=0.0, shared_accesses=1e6,
+                       bank_conflict_degree=1.0)]))
+        conflicted = launch_kernel(FERMI_GTX480, self._launch(
+            [BlockCost(compute_cycles=0.0, shared_accesses=1e6,
+                       bank_conflict_degree=4.0)]))
+        assert conflicted.cycles == pytest.approx(clean.cycles * 4, rel=0.2)
+
+    def test_bandwidth_floor(self):
+        # A kernel moving far more bytes than its cycles justify is
+        # bandwidth-bound.
+        t = launch_kernel(FERMI_GTX480, self._launch(
+            [BlockCost(compute_cycles=1.0, global_bytes=1e9,
+                       global_transactions=1e9 / 128)]))
+        assert t.breakdown["bandwidth_cycles"] > 0
+        assert t.cycles >= t.breakdown["bandwidth_cycles"]
+
+    def test_unlaunchable_config_raises(self):
+        with pytest.raises(ValueError):
+            launch_kernel(FERMI_GTX480, self._launch(
+                [BlockCost(compute_cycles=1.0)], shared=20_000))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            launch_kernel(FERMI_GTX480, self._launch([]))
+
+    def test_scaled_timing(self):
+        t = launch_kernel(FERMI_GTX480, self._launch(
+            [BlockCost(compute_cycles=1e6)]))
+        assert t.scaled(2.0).seconds == pytest.approx(t.seconds * 2)
+
+
+class TestTransfers:
+    def test_latency_plus_bandwidth(self):
+        spec = FERMI_GTX480
+        t = transfer_time(spec, 1 << 20)
+        assert t == pytest.approx(spec.pcie_latency_s
+                                  + (1 << 20) / spec.pcie_bandwidth_bps)
+
+    def test_zero_bytes_free(self):
+        assert transfer_time(FERMI_GTX480, 0) == 0.0
+
+
+class TestDeviceSpec:
+    def test_gtx480_shape(self):
+        assert FERMI_GTX480.total_cores == 480
+        assert FERMI_GTX480.sm_count == 15
+        assert FERMI_GTX480.shared_mem_per_sm == 16 * 1024
+
+    def test_with_shared_mem(self):
+        alt = FERMI_GTX480.with_shared_mem(48 * 1024)
+        assert alt.shared_mem_per_sm == 48 * 1024
+        assert alt.sm_count == FERMI_GTX480.sm_count
+
+    def test_detect_devices(self):
+        from repro.gpusim.spec import detect_devices
+
+        devices = detect_devices()
+        assert devices and devices[0].name == "GeForce GTX 480"
+
+    def test_device_by_name(self):
+        from repro.gpusim.spec import device_by_name
+
+        assert device_by_name("Tesla C2050").sm_count == 14
+        with pytest.raises(ValueError):
+            device_by_name("RTX 9090")

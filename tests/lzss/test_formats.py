@@ -1,0 +1,106 @@
+"""Token formats: field packing, limits, registry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lzss.constants import SERIAL_LOOKAHEAD, V2_MAX_MATCH
+from repro.lzss.formats import CUDA_V1, CUDA_V2, SERIAL, TokenFormat
+
+
+class TestPaperFormats:
+    def test_serial_is_dipperstein_layout(self):
+        assert SERIAL.offset_bits == 12
+        assert SERIAL.length_bits == 4
+        assert SERIAL.window == 4096
+        assert SERIAL.max_match == SERIAL_LOOKAHEAD == 18
+        assert SERIAL.pair_bits == 17
+        assert SERIAL.literal_bits == 9
+
+    def test_v1_keeps_serial_token(self):
+        assert CUDA_V1.pair_bits == SERIAL.pair_bits
+        assert CUDA_V1.max_match == SERIAL.max_match
+        assert CUDA_V1.window == SERIAL.window
+
+    def test_v2_is_16bit_extended_offset(self):
+        assert CUDA_V2.offset_bits + CUDA_V2.length_bits == 16
+        assert CUDA_V2.window == 128
+        assert CUDA_V2.max_match == V2_MAX_MATCH == 66
+
+    def test_min_match_is_three_everywhere(self):
+        for fmt in (SERIAL, CUDA_V1, CUDA_V2):
+            assert fmt.min_match == 3
+
+    def test_two_byte_match_not_profitable(self):
+        # §II.A: "encoding of two character match requires the same
+        # amount bytes if we directly output the two characters".
+        assert not SERIAL.pair_is_profitable(1)
+        assert SERIAL.pair_is_profitable(3)
+
+
+class TestPackUnpack:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(1, 128), st.integers(3, 66))
+    def test_v2_pair_roundtrip(self, dist, length):
+        value, nbits = CUDA_V2.pack_pair(dist, length)
+        assert nbits == CUDA_V2.pair_bits
+        assert CUDA_V2.unpack_pair(value) == (dist, length)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(1, 4096), st.integers(3, 18))
+    def test_serial_pair_roundtrip(self, dist, length):
+        value, _ = SERIAL.pack_pair(dist, length)
+        assert SERIAL.unpack_pair(value) == (dist, length)
+
+    def test_literal_packing(self):
+        value, nbits = SERIAL.pack_literal(0x41)
+        assert nbits == 9
+        assert value == 0x141  # flag 1 + 'A'
+
+    def test_out_of_window_distance_rejected(self):
+        with pytest.raises(ValueError):
+            CUDA_V2.pack_pair(129, 5)
+
+    def test_out_of_range_length_rejected(self):
+        with pytest.raises(ValueError):
+            SERIAL.pack_pair(1, 19)
+        with pytest.raises(ValueError):
+            SERIAL.pack_pair(1, 2)
+
+    def test_unpack_rejects_excess_distance(self):
+        # dist-1=200 fits 8 bits but exceeds V2's 128-byte window
+        bogus = (200 << CUDA_V2.length_bits) | 0
+        with pytest.raises(ValueError):
+            CUDA_V2.unpack_pair(bogus)
+
+
+class TestRegistry:
+    def test_ids_roundtrip(self):
+        for fmt in (SERIAL, CUDA_V1, CUDA_V2):
+            assert TokenFormat.from_id(fmt.to_id()).name == fmt.name
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ValueError):
+            TokenFormat.from_id(99)
+
+    def test_custom_format_has_no_id(self):
+        custom = TokenFormat(name="sweep", offset_bits=9, length_bits=8,
+                             window=512)
+        with pytest.raises(ValueError):
+            custom.to_id()
+
+
+class TestValidation:
+    def test_window_must_fit_offset_field(self):
+        with pytest.raises(ValueError):
+            TokenFormat(name="bad", offset_bits=4, length_bits=4, window=17)
+
+    def test_cap_must_fit_field(self):
+        with pytest.raises(ValueError):
+            TokenFormat(name="bad", offset_bits=8, length_bits=4, window=128,
+                        max_match_cap=19)
+
+    def test_cap_below_min_match_rejected(self):
+        with pytest.raises(ValueError):
+            TokenFormat(name="bad", offset_bits=8, length_bits=8, window=128,
+                        max_match_cap=2)

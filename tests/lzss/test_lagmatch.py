@@ -1,0 +1,119 @@
+"""The exact all-position matcher (the V2 kernel math)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lzss.formats import CUDA_V2
+from repro.lzss.lagmatch import (
+    LagMatchResult,
+    lag_best_matches,
+    lag_run_lengths,
+)
+from repro.lzss.reference import reference_find_match
+
+
+def naive_run_length(data: bytes, k: int, lag: int, cap: int) -> int:
+    n = len(data)
+    length = 0
+    while length < cap and k + lag + length < n and \
+            data[k + length] == data[k + lag + length]:
+        length += 1
+    return length
+
+
+class TestLagRunLengths:
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=4, max_size=120), st.integers(1, 8),
+           st.integers(1, 20))
+    def test_matches_naive(self, data, lag, cap):
+        if lag >= len(data):
+            return
+        arr = np.frombuffer(data, dtype=np.uint8)
+        runs = lag_run_lengths(arr, lag, cap)
+        for k in range(runs.size):
+            assert runs[k] == naive_run_length(data, k, lag, cap)
+
+    def test_all_equal_input_capped(self):
+        arr = np.zeros(50, dtype=np.uint8)
+        runs = lag_run_lengths(arr, 1, 10)
+        assert runs[0] == 10  # capped
+        assert runs[-1] == 1  # k=48: only data[48]==data[49] remains
+
+
+class TestBestMatches:
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=0, max_size=250))
+    def test_agrees_with_reference(self, data):
+        res = lag_best_matches(data, CUDA_V2.window, CUDA_V2.max_match)
+        for i in range(len(data)):
+            dist, length = reference_find_match(data, i, CUDA_V2)
+            if length >= 1:
+                assert res.best_len[i] == length, i
+                if length > 0:
+                    assert res.best_dist[i] == dist, i
+            else:
+                assert res.best_len[i] == 0
+
+    def test_chunk_isolation(self):
+        data = b"ABCDEF" * 4  # period 6, matches everywhere
+        res = lag_best_matches(data, 64, 18, chunk_size=6)
+        # every chunk restarts: no position may reference a prior chunk
+        pos = np.arange(len(data))
+        assert (res.best_dist <= pos % 6).all()
+
+    def test_chunk_end_caps_length(self):
+        data = b"ab" * 16
+        res = lag_best_matches(data, 64, 18, chunk_size=8)
+        pos = np.arange(len(data))
+        room = 8 - (pos % 8)
+        assert (res.best_len <= room).all()
+
+    def test_empty_input(self):
+        res = lag_best_matches(b"", 128, 66)
+        assert res.best_len.size == 0
+        assert res.compare_count == 0
+
+    def test_compare_count_positive_and_bounded(self, text_data):
+        data = text_data[:2000]
+        res = lag_best_matches(data, 128, 66)
+        n = len(data)
+        assert 0 < res.compare_count <= n * 128 * 66
+
+    def test_per_position_sum_equals_total(self, text_data):
+        data = text_data[:1500]
+        res = lag_best_matches(data, 64, 18, collect_per_position=True)
+        assert int(res.per_position_compares.sum()) == res.compare_count
+
+
+class TestWarpCompares:
+    def test_warp_bound_between_mean_and_sum(self, text_data):
+        data = text_data[:1600]
+        res = lag_best_matches(data, 64, 18, collect_per_position=True)
+        per_pos = res.per_position_compares
+        warps = res.warp_compares
+        n_warps = warps.size
+        for w in range(n_warps):
+            lanes = per_pos[w * 32:(w + 1) * 32]
+            # lockstep cost ≥ the busiest single lane, ≤ the lane sum
+            assert warps[w] >= lanes.max()
+            assert warps[w] <= lanes.sum()
+
+    def test_uniform_lanes_cost_single_lane(self):
+        # all-zero input: every lane in a warp does identical work, so
+        # lockstep max == any single lane's compare count
+        data = bytes(128)
+        res = lag_best_matches(data, 16, 18, collect_per_position=True)
+        lane_63 = int(res.per_position_compares[63])
+        warp_1 = int(res.warp_compares[1])
+        # warp 1 covers positions 32..63; the deepest lane dominates
+        assert warp_1 <= int(res.per_position_compares[32:64].max()) * 16 + 16
+        assert warp_1 >= lane_63
+
+
+class TestResultDataclass:
+    def test_fields(self):
+        res = lag_best_matches(b"hello hello", 16, 18)
+        assert isinstance(res, LagMatchResult)
+        assert res.per_position_compares is None  # not collected

@@ -1,0 +1,107 @@
+"""Lazy matching — the §VII parse refinement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lzss.decoder import decode, decode_chunked
+from repro.lzss.encoder import encode, encode_chunked
+from repro.lzss.formats import CUDA_V2, SERIAL
+
+
+class TestLazyRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(max_size=1200))
+    def test_continuous(self, data):
+        for fmt in (SERIAL, CUDA_V2):
+            r = encode(data, fmt, parse="lazy")
+            assert decode(r.payload, fmt, len(data)) == data
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=1, max_size=1200))
+    def test_chunked(self, data):
+        r = encode_chunked(data, CUDA_V2, 128, parse="lazy")
+        assert decode_chunked(r.payload, CUDA_V2, r.chunk_sizes, 128,
+                              len(data)) == data
+
+
+class TestLazySemantics:
+    def test_textbook_case(self):
+        # greedy takes "ab" ... lazy defers to grab the longer "bcdef"
+        data = b"ab" + b"bcdef" + b"XabcdefY"
+        greedy = encode(data, CUDA_V2, parse="greedy", collect_detail=True)
+        lazy = encode(data, CUDA_V2, parse="lazy", collect_detail=True)
+        assert lazy.stats.total_bits <= greedy.stats.total_bits
+        assert decode(lazy.payload, CUDA_V2, len(data)) == data
+
+    @pytest.mark.parametrize("name", ["cfiles", "dictionary",
+                                      "highly_compressible"])
+    def test_never_worse_on_real_data(self, name):
+        from repro.datasets import generate
+
+        data = generate(name, 128 * 1024)
+        greedy = encode(data, SERIAL, parse="greedy").stats.ratio
+        lazy = encode(data, SERIAL, parse="lazy").stats.ratio
+        # lazy evaluation is a strict refinement on match-rich data
+        assert lazy <= greedy + 1e-9
+
+    def test_stats_consistent(self, text_data):
+        r = encode(text_data, SERIAL, parse="lazy", collect_detail=True)
+        s = r.stats
+        assert s.n_literals + s.sum_match_length == len(text_data)
+        assert s.n_tokens == s.n_literals + s.n_pairs
+
+    def test_unknown_strategy_rejected(self, text_data):
+        with pytest.raises(ValueError):
+            encode(text_data, SERIAL, parse="psychic")
+
+    def test_cpu_drivers_expose_it(self, text_data):
+        from repro.cpu import PthreadLzss, SerialLzss
+
+        s = SerialLzss(parse="lazy")
+        r = s.compress(text_data)
+        assert s.decompress(r.payload, len(text_data)) == text_data
+        p = PthreadLzss(2, parse="lazy")
+        assert p.decompress(p.compress(text_data)) == text_data
+
+
+class TestOptimalParse:
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(max_size=800))
+    def test_roundtrip(self, data):
+        for fmt in (SERIAL, CUDA_V2):
+            r = encode(data, fmt, parse="optimal")
+            assert decode(r.payload, fmt, len(data)) == data
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=1, max_size=800))
+    def test_chunked_roundtrip(self, data):
+        r = encode_chunked(data, CUDA_V2, 128, parse="optimal")
+        assert decode_chunked(r.payload, CUDA_V2, r.chunk_sizes, 128,
+                              len(data)) == data
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=600))
+    def test_never_worse_than_lazy_or_greedy(self, data):
+        """The defining property: DP is bit-optimal over the parse DAG."""
+        bits = {p: encode(data, SERIAL, parse=p).stats.total_bits
+                for p in ("greedy", "lazy", "optimal")}
+        assert bits["optimal"] <= bits["lazy"]
+        assert bits["optimal"] <= bits["greedy"]
+
+    @pytest.mark.parametrize("name", ["cfiles", "dictionary"])
+    def test_strict_gain_on_real_data(self, name):
+        from repro.datasets import generate
+
+        data = generate(name, 96 * 1024)
+        greedy = encode(data, SERIAL, parse="greedy").stats.total_bits
+        optimal = encode(data, SERIAL, parse="optimal").stats.total_bits
+        assert optimal < greedy  # parse choice genuinely matters
+
+    def test_shortened_match_uses_valid_prefix(self):
+        # the DP may truncate a long match; the emitted (dist, len)
+        # prefix must still decode — covered by construction, checked
+        # here on a crafted case with competing matches
+        data = b"abcdeXabcde" * 6 + b"abcd" + b"Q" * 8
+        r = encode(data, CUDA_V2, parse="optimal")
+        assert decode(r.payload, CUDA_V2, len(data)) == data

@@ -1,0 +1,92 @@
+"""Hash-chain matcher: exactness against the brute-force reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lzss.formats import SERIAL
+from repro.lzss.matcher import hash_chain_best_matches
+from repro.lzss.reference import reference_find_match
+
+
+class TestAgainstReference:
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=0, max_size=300))
+    def test_exhaustive_chain_is_exact(self, data):
+        blen, bdist = hash_chain_best_matches(data, SERIAL.window,
+                                              SERIAL.max_match,
+                                              max_chain=10 ** 6)
+        for i in range(len(data)):
+            dist, length = reference_find_match(data, i, SERIAL)
+            if length >= 3:
+                assert blen[i] == length, i
+                assert bdist[i] == dist, i
+            else:
+                assert blen[i] == 0, i
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(alphabet="abc", max_size=400))
+    def test_low_entropy_exact(self, text):
+        data = text.encode()
+        blen, bdist = hash_chain_best_matches(data, SERIAL.window,
+                                              SERIAL.max_match,
+                                              max_chain=10 ** 6)
+        for i in range(0, len(data), 7):
+            dist, length = reference_find_match(data, i, SERIAL)
+            expect = length if length >= 3 else 0
+            assert blen[i] == expect
+
+
+class TestBoundedChain:
+    def test_bounded_never_beats_exhaustive(self, text_data):
+        data = text_data[:3000]
+        exact_len, _ = hash_chain_best_matches(data, 4096, 18,
+                                               max_chain=10 ** 6)
+        approx_len, _ = hash_chain_best_matches(data, 4096, 18, max_chain=4)
+        assert (approx_len <= exact_len).all()
+
+    def test_reported_matches_are_real(self, text_data):
+        data = text_data[:2000]
+        arr = np.frombuffer(data, dtype=np.uint8)
+        blen, bdist = hash_chain_best_matches(data, 4096, 18, max_chain=8)
+        idx = np.nonzero(blen)[0]
+        for i in idx[:200]:
+            d, ln = int(bdist[i]), int(blen[i])
+            for k in range(ln):
+                assert arr[i + k] == arr[i - d + k]
+
+
+class TestConstraints:
+    def test_chunk_isolation(self):
+        data = b"hello world! " * 40
+        blen, bdist = hash_chain_best_matches(data, 4096, 18,
+                                              chunk_size=64, max_chain=10 ** 4)
+        pos = np.arange(len(data))
+        valid = blen > 0
+        assert (bdist[valid] <= (pos % 64)[valid]).all()
+
+    def test_slice_caps_length(self):
+        data = b"hello world! " * 40
+        blen, _ = hash_chain_best_matches(data, 4096, 18, chunk_size=64,
+                                          slice_size=16, max_chain=10 ** 4)
+        pos = np.arange(len(data))
+        room = 16 - (pos % 16)
+        assert (blen <= room).all()
+
+    def test_slice_must_divide_chunk(self):
+        with pytest.raises(ValueError):
+            hash_chain_best_matches(b"x" * 100, 64, 18, chunk_size=30,
+                                    slice_size=7)
+
+    def test_tiny_inputs(self):
+        for n in range(5):
+            blen, bdist = hash_chain_best_matches(b"a" * n, 4096, 18)
+            assert blen.size == n
+            assert (blen[:1] == 0).all()  # position 0 never matches
+
+    def test_window_limits_distance(self):
+        data = b"UNIQ" + bytes(range(200)) + b"UNIQ"
+        blen, bdist = hash_chain_best_matches(data, window=64, max_match=18,
+                                              max_chain=10 ** 4)
+        assert blen[204] == 0  # the only match is 204 bytes back

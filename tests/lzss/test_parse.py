@@ -1,0 +1,73 @@
+"""Greedy-parse machinery: jump doubling and chunk lock-step."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lzss.parse import (
+    greedy_token_starts,
+    greedy_token_starts_reference,
+    reachable_from,
+)
+
+
+class TestReachableFrom:
+    def test_unit_steps_visit_everything(self):
+        jump = np.arange(10) + 1
+        assert reachable_from(jump, 0).tolist() == list(range(10))
+
+    def test_strides(self):
+        jump = np.arange(12) + 3
+        assert reachable_from(jump, 0).tolist() == [0, 3, 6, 9]
+
+    def test_start_offset(self):
+        jump = np.arange(10) + 2
+        assert reachable_from(jump, 1).tolist() == [1, 3, 5, 7, 9]
+
+    def test_start_past_end(self):
+        assert reachable_from(np.array([1, 2]), 5).size == 0
+
+    def test_non_forward_rejected(self):
+        with pytest.raises(ValueError):
+            reachable_from(np.array([0, 2]), 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(1, 7), min_size=1, max_size=300))
+    def test_property_matches_walk(self, advances):
+        adv = np.array(advances, dtype=np.int64)
+        jump = np.arange(adv.size) + adv
+        got = reachable_from(jump, 0).tolist()
+        expect, pos = [], 0
+        while pos < adv.size:
+            expect.append(pos)
+            pos += int(adv[pos])
+        assert got == expect
+
+
+class TestGreedyTokenStarts:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(1, 9), min_size=1, max_size=200),
+           st.sampled_from([None, 8, 16, 64]))
+    def test_property_matches_reference(self, advances, chunk):
+        adv = np.array(advances, dtype=np.int64)
+        got = greedy_token_starts(adv, chunk)
+        expect = greedy_token_starts_reference(adv, chunk)
+        assert got.tolist() == expect.tolist()
+
+    def test_chunked_restarts_at_boundaries(self):
+        adv = np.full(32, 5, dtype=np.int64)
+        starts = greedy_token_starts(adv, 8)
+        # every chunk begins a fresh parse
+        assert set(range(0, 32, 8)).issubset(set(starts.tolist()))
+
+    def test_empty(self):
+        assert greedy_token_starts(np.array([], dtype=np.int64)).size == 0
+
+    def test_zero_advance_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_token_starts(np.array([1, 0, 1]))
+
+    def test_advance_past_end_ok(self):
+        starts = greedy_token_starts(np.array([100], dtype=np.int64))
+        assert starts.tolist() == [0]

@@ -1,0 +1,101 @@
+"""The pure-Python specification codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lzss.formats import CUDA_V2, SERIAL
+from repro.lzss.reference import (
+    reference_decode,
+    reference_encode,
+    reference_find_match,
+    reference_tokenize,
+)
+
+
+class TestFindMatch:
+    def test_no_match_in_fresh_stream(self):
+        assert reference_find_match(b"abcdef", 0, SERIAL) == (0, 0)
+
+    def test_finds_longest(self):
+        #      0123456789
+        data = b"abcabcabcX"
+        dist, length = reference_find_match(data, 3, SERIAL)
+        assert (dist, length) == (3, 6)  # overlapping run a-b-c ×2
+
+    def test_nearest_distance_wins_ties(self):
+        data = b"ab__ab__ab"
+        dist, length = reference_find_match(data, 8, SERIAL)
+        assert length == 2
+        assert dist == 4  # two candidates of length 2; nearest wins
+
+    def test_window_limit_respected(self):
+        fmt = CUDA_V2  # window 128
+        data = b"XYZ" + bytes(130) + b"XYZ"
+        dist, length = reference_find_match(data, 133, fmt)
+        # the XYZ at offset 0 lies 133 back — outside the 128 window;
+        # the zero run before us still matches the zeros… check X only
+        assert dist <= fmt.window
+
+    def test_block_start_respected(self):
+        data = b"abcabc"
+        dist, length = reference_find_match(data, 3, SERIAL, block_start=3)
+        assert (dist, length) == (0, 0)
+
+    def test_length_capped_at_max_match(self):
+        data = b"a" * 100
+        dist, length = reference_find_match(data, 1, SERIAL)
+        assert (dist, length) == (1, SERIAL.max_match)
+
+    def test_block_end_caps_length(self):
+        data = b"a" * 100
+        dist, length = reference_find_match(data, 1, SERIAL, block_end=5)
+        assert (dist, length) == (1, 4)
+
+
+class TestTokenize:
+    def test_literal_then_run(self):
+        tokens = reference_tokenize(b"aaaaaa", SERIAL)
+        assert tokens == [("lit", ord("a")), ("pair", 1, 5)]
+
+    def test_short_matches_stay_literals(self):
+        tokens = reference_tokenize(b"ababab"[:4], SERIAL)
+        # "abab": third/fourth chars match at distance 2 but length 2 < 3
+        assert all(t[0] == "lit" for t in tokens)
+
+    def test_tokens_cover_input_exactly(self, text_data):
+        data = text_data[:600]
+        tokens = reference_tokenize(data, SERIAL)
+        covered = sum(1 if t[0] == "lit" else t[2] for t in tokens)
+        assert covered == len(data)
+
+
+class TestRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=300))
+    def test_random_bytes(self, data):
+        payload = reference_encode(data, SERIAL)
+        assert reference_decode(payload, SERIAL, len(data)) == data
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="ab", max_size=300))
+    def test_low_entropy_text(self, text):
+        data = text.encode()
+        for fmt in (SERIAL, CUDA_V2):
+            payload = reference_encode(data, fmt)
+            assert reference_decode(payload, fmt, len(data)) == data
+
+    def test_overlapping_run_decodes(self):
+        data = b"x" + b"y" * 50
+        payload = reference_encode(data, SERIAL)
+        assert reference_decode(payload, SERIAL, len(data)) == data
+
+    def test_corrupt_distance_detected(self):
+        # A pair pointing before the stream start must raise.
+        from repro.util.bitio import BitWriter
+
+        w = BitWriter()
+        value, nbits = SERIAL.pack_pair(5, 3)
+        w.write_bits(value, nbits)
+        with pytest.raises(ValueError, match="distance"):
+            reference_decode(w.getvalue(), SERIAL, 3)

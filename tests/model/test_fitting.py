@@ -1,0 +1,27 @@
+"""Unit tests of the anchor-fitting machinery."""
+
+import pytest
+
+from repro.model.fitting import _affine_solve
+
+
+class TestAffineSolve:
+    def test_exact_affine(self):
+        x = _affine_solve(lambda v: 3 * v + 1, target=10.0, x1=0.0, x2=1.0,
+                          floor=0.0)
+        assert x == pytest.approx(3.0)
+
+    def test_floor_clamps(self):
+        x = _affine_solve(lambda v: v, target=-5.0, x1=0.0, x2=1.0, floor=0.1)
+        assert x == 0.1
+
+    def test_piecewise_branch_switch(self):
+        # f has a max() kink at x=2 — a single secant step from (0, 10)
+        # lands on the wrong branch; the refinement must converge.
+        f = lambda v: max(4.0, 2 * v)
+        x = _affine_solve(f, target=8.0, x1=0.0, x2=10.0, floor=0.0)
+        assert f(x) == pytest.approx(8.0, rel=1e-3)
+
+    def test_insensitive_function_rejected(self):
+        with pytest.raises(ValueError):
+            _affine_solve(lambda v: 7.0, target=3.0, x1=0.0, x2=1.0, floor=0.0)

@@ -1,0 +1,71 @@
+"""The culzss command-line program (the paper's I/O version)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import generate
+
+
+@pytest.fixture(scope="module")
+def sample_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "input.bin"
+    path.write_bytes(generate("cfiles", 60_000))
+    return path
+
+
+@pytest.mark.parametrize("system", ["culzss-v1", "culzss-v2", "serial",
+                                    "pthread", "bzip2"])
+def test_compress_decompress_every_system(system, sample_file, tmp_path,
+                                          capsys):
+    comp = tmp_path / "out.cz"
+    restored = tmp_path / "restored.bin"
+    assert main(["compress", str(sample_file), str(comp),
+                 "--system", system]) == 0
+    assert comp.stat().st_size > 0
+    assert main(["decompress", str(comp), str(restored)]) == 0
+    assert restored.read_bytes() == sample_file.read_bytes()
+    out = capsys.readouterr().out
+    assert "->" in out
+
+
+def test_version_flag_selects_culzss(sample_file, tmp_path, capsys):
+    comp = tmp_path / "v1.cz"
+    assert main(["compress", str(sample_file), str(comp),
+                 "--version", "1"]) == 0
+    assert "culzss-v1" in capsys.readouterr().out
+
+
+def test_info_reports_container(sample_file, tmp_path, capsys):
+    comp = tmp_path / "x.cz"
+    main(["compress", str(sample_file), str(comp)])
+    assert main(["info", str(comp)]) == 0
+    out = capsys.readouterr().out
+    assert "cuda_v2" in out
+    assert "chunks" in out
+
+
+def test_decompress_rejects_garbage(tmp_path, capsys):
+    bad = tmp_path / "junk.bin"
+    bad.write_bytes(b"not a container at all")
+    assert main(["decompress", str(bad), str(tmp_path / "o")]) == 2
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_report_subcommand_writes_markdown(tmp_path, capsys):
+    # miniature end-to-end of `culzss report`: all five datasets, fit,
+    # markdown emission
+    import os
+
+    out_file = tmp_path / "experiments.md"
+    try:
+        assert main(["report", "--size-mb", "0.125",
+                     "--output", str(out_file)]) == 0
+    finally:
+        os.environ.pop("REPRO_BENCH_MB", None)  # the CLI sets it
+    text = out_file.read_text()
+    assert "Table I" in text and "⚓" in text
+    assert "Highly Compr." in text

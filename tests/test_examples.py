@@ -1,0 +1,55 @@
+"""Every shipped example must run clean and say what it promises."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "GeForce GTX 480" in out
+    assert "CULZSS Version 1" in out and "CULZSS Version 2" in out
+    assert "decompressed OK" in out
+
+
+def test_network_gateway():
+    out = run_example("network_gateway.py")
+    assert "bytes on the wire" in out
+    assert "net effect" in out
+
+
+def test_checkpoint_compression():
+    out = run_example("checkpoint_compression.py")
+    assert "checkpoint 0" in out
+    assert "totals" in out
+
+
+def test_tuning_sweep():
+    out = run_example("tuning_sweep.py", "highly_compressible")
+    assert "window sweep" in out
+    assert "threads-per-block sweep" in out
+
+
+def test_tuning_sweep_rejects_unknown_dataset():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "tuning_sweep.py"), "nope"],
+        capture_output=True, text=True)
+    assert proc.returncode != 0
+
+
+def test_figure1_walkthrough():
+    out = run_example("figure1_walkthrough.py")
+    assert "I meant what I said" in out
+    assert "figure-style character count" in out
