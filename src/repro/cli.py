@@ -11,6 +11,13 @@ Usage::
     culzss info       INPUT
     culzss bench      [--size-mb N] [--datasets a,b,...]
     culzss report     [--size-mb N] [--output FILE]
+    culzss serve      [--host H] [--port P] [--output-dir DIR] ...
+    culzss send       [INPUT ...] [--dataset KIND --count N] ...
+
+``serve``/``send`` run the streaming gateway pair (`repro.service`):
+``serve`` is the egress gateway (decompress + deliver), ``send`` the
+ingress gateway (compress + ship); both print a metrics snapshot on
+exit.
 
 ``--system`` selects any of the five evaluated systems (culzss-v1,
 culzss-v2, serial, pthread, bzip2); CULZSS/serial outputs are
@@ -149,6 +156,97 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_metrics(metrics) -> None:
+    import json
+
+    print("metrics snapshot:")
+    print(json.dumps(metrics.snapshot(), indent=2, sort_keys=True))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import GatewayServer, Metrics
+
+    metrics = Metrics()
+    out_dir = Path(args.output_dir) if args.output_dir else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    async def deliver(stream_id: int, seq: int, data: bytes) -> None:
+        if out_dir:
+            # delivery is strictly in sequence order, so appending
+            # reassembles each stream into one file
+            mode = "wb" if seq == 0 else "ab"
+            with open(out_dir / f"stream-{stream_id}.bin", mode) as fh:
+                fh.write(data)
+
+    async def run() -> None:
+        server = GatewayServer(args.host, args.port, workers=args.workers,
+                               queue_depth=args.queue_depth,
+                               timeout=args.timeout, metrics=metrics,
+                               deliver=deliver)
+        await server.start()
+        print(f"listening on {server.host}:{server.port}", flush=True)
+        try:
+            if args.max_conns:
+                await server.wait_connections(args.max_conns)
+            else:
+                await asyncio.Event().wait()  # until interrupted
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; draining")
+    _print_metrics(metrics)
+    return 0
+
+
+def _cmd_send(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import GatewayClient, Metrics
+
+    if args.inputs:
+        buffers = [Path(p).read_bytes() for p in args.inputs]
+    else:
+        from repro.datasets import generate
+
+        buffers = [generate(args.dataset, args.buffer_size, seed=1000 + i)
+                   for i in range(args.count)]
+    metrics = Metrics()
+
+    async def run():
+        client = GatewayClient(args.host, args.port, version=args.version,
+                               workers=args.workers,
+                               queue_depth=args.queue_depth,
+                               timeout=args.timeout, retries=args.retries,
+                               metrics=metrics)
+        async with client:
+            return await client.send_stream(buffers, stream_id=args.stream_id)
+
+    from repro.service import FrameError
+
+    try:
+        ack = asyncio.run(run())
+    except (ConnectionError, OSError, TimeoutError, asyncio.TimeoutError,
+            FrameError) as exc:
+        print(f"send failed: {exc!r}", file=sys.stderr)
+        return 2
+    sent = sum(len(b) for b in buffers)
+    wire = metrics.count("ingress.bytes_out")
+    print(f"sent {len(buffers)} buffers ({sent} bytes) -> {wire} bytes "
+          f"on the wire (ratio {wire / sent:.4f})" if sent else
+          f"sent {len(buffers)} empty buffers")
+    print(f"egress delivered {ack.frames} frames / {ack.bytes} bytes, "
+          f"CRC verified")
+    if args.metrics:
+        _print_metrics(metrics)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="culzss",
@@ -185,6 +283,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--datasets", default=None,
                    help="comma-separated dataset subset")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("serve", help="run the egress gateway server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 picks a free one and prints it)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="decompression fan-out processes (0: in-loop pool)")
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="bounded frames in flight per pipeline stage")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-frame read/write timeout in seconds")
+    p.add_argument("--output-dir", default=None,
+                   help="reassemble delivered streams into DIR/stream-N.bin")
+    p.add_argument("--max-conns", type=int, default=0,
+                   help="exit after N connections (0: serve until ^C)")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("send", help="send buffers through an ingress gateway")
+    p.add_argument("inputs", nargs="*",
+                   help="files to send (default: generated dataset traffic)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--version", type=int, choices=(1, 2), default=2,
+                   help="CULZSS version (the API's version parameter)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="compression fan-out processes")
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="bounded frames in flight (backpressure bound)")
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.add_argument("--retries", type=int, default=3,
+                   help="transient-failure retries (exponential backoff)")
+    p.add_argument("--stream-id", type=int, default=0)
+    p.add_argument("--dataset", default="cfiles",
+                   help="dataset kind for generated traffic")
+    p.add_argument("--count", type=int, default=4,
+                   help="generated buffers to send")
+    p.add_argument("--buffer-size", type=int, default=65536,
+                   help="generated buffer size in bytes")
+    p.add_argument("--metrics", action="store_true",
+                   help="dump the client metrics snapshot on exit")
+    p.set_defaults(func=_cmd_send)
     return parser
 
 

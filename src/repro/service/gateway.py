@@ -1,0 +1,328 @@
+"""TCP gateway endpoints: the §III compress/ship/decompress pair.
+
+:class:`GatewayServer` is the egress gateway — it accepts connections,
+runs each through an :class:`~repro.service.pipeline.EgressPipeline`,
+hands the reassembled buffers to a ``deliver`` callback, and answers
+each stream's ``END`` frame with an ``ACK`` carrying the delivered
+frame count, byte count, and a running CRC-32 — a delivery receipt the
+ingress side can verify end-to-end.
+
+:class:`GatewayClient` is the ingress gateway — it compresses a buffer
+stream through an :class:`~repro.service.pipeline.IngressPipeline`
+(process-pool fan-out, bounded queue) and writes frames to the server,
+with bounded retry-with-backoff on connection establishment, a
+per-operation timeout on every read and write, and ACK verification.
+
+Failure model: :func:`retry_with_backoff` absorbs *transient* failures
+(refused/aborted connects, send timeouts under momentary pressure).  A
+connection lost mid-stream is not transparently resumed — the server's
+per-connection sequence state is gone — so it surfaces to the caller,
+who still owns the original buffers and can resend the stream; the
+egress reassembly dedupes any frames that made it through twice.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Awaitable, Callable
+
+from repro.service.metrics import Metrics
+from repro.service.pipeline import EgressPipeline, IngressPipeline
+from repro.service.protocol import (
+    FLAG_ACK,
+    FLAG_END,
+    Frame,
+    FrameError,
+    pack_ack,
+    read_frame,
+    unpack_ack,
+    write_frame,
+)
+from repro.util.checksum import crc32
+
+__all__ = ["GatewayClient", "GatewayServer", "StreamAck", "retry_with_backoff"]
+
+#: Exception types worth retrying: refused/reset connections, socket
+#: errors, and operation timeouts (asyncio.TimeoutError is distinct
+#: from TimeoutError before 3.11).
+TRANSIENT_ERRORS = (ConnectionError, OSError, TimeoutError,
+                    asyncio.TimeoutError)
+
+
+async def retry_with_backoff(fn: Callable[[], Awaitable], *,
+                             retries: int = 3, base_delay: float = 0.05,
+                             max_delay: float = 2.0,
+                             transient: tuple = TRANSIENT_ERRORS,
+                             metrics: Metrics | None = None,
+                             name: str = "op"):
+    """Run ``fn`` with up to ``retries`` retries on transient errors.
+
+    Exponential backoff doubles from ``base_delay`` and saturates at
+    ``max_delay``; the final failure propagates unchanged.
+    """
+    delay = base_delay
+    for attempt in range(retries + 1):
+        try:
+            return await fn()
+        except transient:
+            if metrics is not None:
+                metrics.inc(f"retry.{name}")
+            if attempt == retries:
+                raise
+            await asyncio.sleep(delay)
+            delay = min(delay * 2, max_delay)
+
+
+@dataclass(frozen=True)
+class StreamAck:
+    """The egress gateway's delivery receipt for one stream."""
+
+    frames: int
+    bytes: int
+    crc: int
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "StreamAck":
+        frames, byte_count, crc = unpack_ack(payload)
+        return cls(frames=frames, bytes=byte_count, crc=crc)
+
+    def matches(self, buffers) -> bool:
+        """Does this receipt match what we sent, byte for byte?"""
+        crc = 0
+        total = count = 0
+        for data in buffers:
+            crc = crc32(bytes(data), crc)
+            total += len(data)
+            count += 1
+        return (self.frames, self.bytes, self.crc) == (count, total, crc)
+
+
+class _StreamState:
+    """Per-stream delivery accounting for the ACK receipt."""
+
+    __slots__ = ("frames", "bytes", "crc")
+
+    def __init__(self) -> None:
+        self.frames = 0
+        self.bytes = 0
+        self.crc = 0
+
+    def account(self, data: bytes) -> None:
+        self.frames += 1
+        self.bytes += len(data)
+        self.crc = crc32(data, self.crc)
+
+
+class GatewayServer:
+    """The egress gateway: accept, decompress, deliver, acknowledge.
+
+    ``deliver`` is an async ``(stream_id, seq, data)`` callback invoked
+    strictly in sequence order per stream; ``None`` counts and discards
+    (a sink gateway).  ``timeout`` bounds each frame read and each ACK
+    write per connection, so a dead peer cannot pin a handler forever.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 workers: int = 0, queue_depth: int = 8,
+                 timeout: float = 30.0, metrics: Metrics | None = None,
+                 deliver: Callable[[int, int, bytes], Awaitable[None]]
+                 | None = None) -> None:
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.timeout = timeout
+        self.metrics = metrics or Metrics()
+        self._deliver = deliver
+        self._server: asyncio.AbstractServer | None = None
+        self._handlers: set[asyncio.Task] = set()
+        self._conns_done = asyncio.Event()
+        self._conns_seen = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._on_connection,
+                                                  self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def __aenter__(self) -> "GatewayServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    def _on_connection(self, reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter) -> None:
+        task = asyncio.ensure_future(self._handle(reader, writer))
+        self._handlers.add(task)
+        task.add_done_callback(self._handler_done)
+
+    def _handler_done(self, task: asyncio.Task) -> None:
+        self._handlers.discard(task)
+        self._conns_seen += 1
+        self._conns_done.set()
+        self._conns_done.clear()
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        m = self.metrics
+        m.inc("server.connections")
+        streams: dict[int, _StreamState] = {}
+
+        async def frames():
+            while True:
+                frame = await read_frame(reader, timeout=self.timeout)
+                if frame is None:
+                    return
+                yield frame
+
+        async def deliver(stream_id: int, seq: int, data: bytes) -> None:
+            streams.setdefault(stream_id, _StreamState()).account(data)
+            if self._deliver is not None:
+                await self._deliver(stream_id, seq, data)
+            m.inc("server.frames_delivered")
+            m.inc("server.bytes_delivered", len(data))
+
+        async def on_end(stream_id: int, seq: int) -> None:
+            state = streams.get(stream_id, _StreamState())
+            ack = Frame(stream_id=stream_id, seq=seq, flags=FLAG_ACK,
+                        payload=pack_ack(state.frames, state.bytes,
+                                         state.crc))
+            await write_frame(writer, ack, timeout=self.timeout)
+            m.inc("server.streams_acked")
+
+        egress = EgressPipeline(workers=self.workers,
+                                queue_depth=self.queue_depth, metrics=m)
+        try:
+            with egress:
+                await egress.run(frames(), deliver, on_end=on_end)
+        except (FrameError, ConnectionError, asyncio.TimeoutError,
+                TimeoutError) as exc:
+            m.inc("server.connection_errors")
+            m.inc(f"server.errors.{type(exc).__name__}")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def close(self, drain: bool = True,
+                    drain_timeout: float = 10.0) -> None:
+        """Stop accepting; by default let in-flight connections finish.
+
+        Graceful drain waits up to ``drain_timeout`` seconds for active
+        handlers before cancelling them.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = list(self._handlers)
+        if pending and drain:
+            _, pending = await asyncio.wait(pending, timeout=drain_timeout)
+            pending = list(pending)
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    async def wait_connections(self, n: int) -> None:
+        """Block until ``n`` connections have completed (for harnesses)."""
+        while self._conns_seen < n:
+            await self._conns_done.wait()
+
+
+class GatewayClient:
+    """The ingress gateway: compress a buffer stream and ship it.
+
+    ``workers``/``queue_depth`` size the compression fan-out and the
+    backpressure bound; ``retries``/``backoff`` govern transient-error
+    retry on connect; ``timeout`` bounds each frame write and the ACK
+    read.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 version: int = 2, workers: int = 2, queue_depth: int = 8,
+                 timeout: float = 30.0, retries: int = 3,
+                 backoff: float = 0.05, metrics: Metrics | None = None,
+                 executor=None) -> None:
+        self.host = host
+        self.port = port
+        self.version = version
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.metrics = metrics or Metrics()
+        self._ingress = IngressPipeline(version=version, workers=workers,
+                                        queue_depth=queue_depth,
+                                        metrics=self.metrics,
+                                        executor=executor)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        async def _open():
+            return await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.timeout)
+
+        self._reader, self._writer = await retry_with_backoff(
+            _open, retries=self.retries, base_delay=self.backoff,
+            metrics=self.metrics, name="connect")
+        self.metrics.inc("client.connects")
+
+    async def __aenter__(self) -> "GatewayClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def send_stream(self, buffers, stream_id: int = 0,
+                          verify: bool = True) -> StreamAck:
+        """Compress and send ``buffers`` as one stream; await the ACK.
+
+        With ``verify`` (and a re-iterable ``buffers``), the ACK is
+        checked against the sent bytes and a mismatch raises
+        :class:`FrameError` — the end-to-end "data looks the same going
+        in as coming out" guarantee, enforced per stream.
+        """
+        if self._writer is None:
+            await self.connect()
+
+        async def send(frame: Frame) -> None:
+            await retry_with_backoff(
+                lambda: write_frame(self._writer, frame,
+                                    timeout=self.timeout),
+                retries=self.retries, base_delay=self.backoff,
+                transient=(TimeoutError, asyncio.TimeoutError),
+                metrics=self.metrics, name="send")
+
+        n_frames = await self._ingress.run(stream_id, buffers, send)
+        await write_frame(self._writer,
+                          Frame(stream_id=stream_id, seq=n_frames,
+                                flags=FLAG_END),
+                          timeout=self.timeout)
+        ack_frame = await read_frame(self._reader, timeout=self.timeout)
+        if ack_frame is None or not ack_frame.is_ack:
+            raise FrameError("gateway closed the stream without an ACK")
+        ack = StreamAck.from_payload(ack_frame.payload)
+        self.metrics.inc("client.streams_acked")
+        if verify and hasattr(buffers, "__iter__") \
+                and not hasattr(buffers, "__next__"):
+            if not ack.matches(buffers):
+                raise FrameError(
+                    f"delivery receipt mismatch: sent {n_frames} frames, "
+                    f"egress delivered {ack.frames} frames/{ack.bytes} bytes")
+        return ack
+
+    async def close(self) -> None:
+        self._ingress.close()
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None

@@ -1,0 +1,266 @@
+"""Bounded-queue ingress/egress pipelines around the in-memory API.
+
+The paper overlaps CPU and GPU work to keep the device saturated
+(§III.D); the service mirrors that shape in asyncio terms.  Ingress is
+``read → compress → send`` and egress ``receive → decompress →
+deliver``, with a bounded :class:`asyncio.Queue` between the stages so
+backpressure propagates to the producer instead of buffering
+unboundedly: when the consumer stage falls behind, ``queue.put`` —
+and therefore the read loop — blocks.
+
+Compression (the CPU-bound bottleneck) fans out across a
+``ProcessPoolExecutor`` of configurable width.  Order is preserved for
+free: the submit stage enqueues *futures* in sequence order and the
+drain stage awaits them in that same order, so up to ``queue_depth``
+frames compress concurrently while frames leave in order.  The egress
+side additionally reassembles by sequence number, which makes it
+robust to duplicated or reordered frames should transport retries ever
+introduce them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor, ProcessPoolExecutor
+from time import perf_counter
+from typing import AsyncIterator, Awaitable, Callable, Iterable
+
+from repro.service.metrics import Metrics
+from repro.service.protocol import FLAG_RAW, FRAME_HEADER_SIZE, Frame
+from repro.util.validation import require_range
+
+__all__ = [
+    "EgressPipeline",
+    "IngressPipeline",
+    "decode_payload",
+    "encode_payload",
+]
+
+
+def encode_payload(data: bytes, version: int = 2) -> tuple[int, bytes]:
+    """Compress one buffer into ``(flags, payload)``.
+
+    The raw-passthrough guard: if the CULZSS container comes out no
+    smaller than the input (random data inverts `highly_compressible`),
+    ship the original bytes with :data:`FLAG_RAW` — so a frame never
+    expands its buffer by more than :data:`FRAME_HEADER_SIZE` bytes.
+    """
+    from repro.core import CompressionParams, gpu_compress
+
+    data = bytes(data)
+    container = gpu_compress(data, CompressionParams(version=version)).data
+    if len(container) >= len(data):
+        return FLAG_RAW, data
+    return 0, container
+
+
+def decode_payload(flags: int, payload: bytes) -> bytes:
+    """Invert :func:`encode_payload` for one frame payload."""
+    if flags & FLAG_RAW:
+        return payload
+    from repro.core import gpu_decompress
+
+    return gpu_decompress(payload).data
+
+
+async def _aiter(items) -> AsyncIterator:
+    """Adapt a sync or async iterable into an async iterator."""
+    if hasattr(items, "__aiter__"):
+        async for item in items:
+            yield item
+    else:
+        for item in items:
+            yield item
+
+
+async def _run_both(a: Awaitable, b: Awaitable) -> tuple:
+    """Gather two stage coroutines; cancel the sibling on failure.
+
+    Plain ``gather`` would leave the surviving stage blocked on a
+    bounded queue forever after its peer dies.
+    """
+    ta, tb = asyncio.ensure_future(a), asyncio.ensure_future(b)
+    try:
+        return tuple(await asyncio.gather(ta, tb))
+    except BaseException:
+        ta.cancel()
+        tb.cancel()
+        await asyncio.gather(ta, tb, return_exceptions=True)
+        raise
+
+
+class _PooledStage:
+    """Shared executor plumbing for the two pipeline halves."""
+
+    def __init__(self, workers: int, queue_depth: int,
+                 metrics: Metrics | None, executor: Executor | None) -> None:
+        require_range(queue_depth, 1, 1 << 16, "queue_depth")
+        require_range(workers, 0, 256, "workers")
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.metrics = metrics or Metrics()
+        self._executor = executor
+        self._owns_executor = executor is None
+
+    def _pool(self) -> Executor | None:
+        """The fan-out executor; ``None`` means the loop's default pool."""
+        if self._executor is None and self._owns_executor and self.workers:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def close(self) -> None:
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class IngressPipeline(_PooledStage):
+    """read → compress (process pool) → send, in sequence order.
+
+    ``workers`` is the compression fan-out width (0 = compress on the
+    event loop's default thread pool — useful for tests); ``queue_depth``
+    bounds frames in flight between the stages, which is both the
+    parallelism cap and the backpressure bound.
+    """
+
+    def __init__(self, version: int = 2, workers: int = 2,
+                 queue_depth: int = 8, metrics: Metrics | None = None,
+                 executor: Executor | None = None,
+                 job: Callable[[bytes, int], tuple[int, bytes]] | None = None,
+                 ) -> None:
+        super().__init__(workers, queue_depth, metrics, executor)
+        self.version = version
+        self._job = job or encode_payload
+
+    async def run(self, stream_id: int,
+                  buffers: Iterable[bytes] | AsyncIterator[bytes],
+                  send: Callable[[Frame], Awaitable[None]]) -> int:
+        """Push every buffer through compression and ``send``; returns
+        the number of data frames emitted."""
+        loop = asyncio.get_running_loop()
+        pool = self._pool()
+        jobs: asyncio.Queue = asyncio.Queue(maxsize=self.queue_depth)
+        m = self.metrics
+
+        async def submit() -> int:
+            seq = 0
+            async for data in _aiter(buffers):
+                fut = loop.run_in_executor(pool, self._job, bytes(data),
+                                           self.version)
+                enq = perf_counter()
+                await jobs.put((seq, len(data), enq, fut))
+                m.gauge("ingress.queue_depth", jobs.qsize())
+                seq += 1
+            await jobs.put(None)
+            return seq
+
+        async def drain() -> None:
+            while (item := await jobs.get()) is not None:
+                seq, n_in, enq, fut = item
+                flags, payload = await fut
+                m.observe("ingress.stage_wait_seconds", perf_counter() - enq)
+                frame = Frame(stream_id=stream_id, seq=seq, flags=flags,
+                              payload=payload)
+                m.inc("ingress.frames_out")
+                m.inc("ingress.bytes_in", n_in)
+                m.inc("ingress.bytes_out", frame.wire_size)
+                if flags & FLAG_RAW:
+                    m.inc("ingress.raw_frames")
+                if n_in:
+                    m.observe("ingress.frame_ratio", frame.wire_size / n_in)
+                t0 = perf_counter()
+                await send(frame)
+                m.observe("ingress.send_wait_seconds", perf_counter() - t0)
+
+        n_frames, _ = await _run_both(submit(), drain())
+        return n_frames
+
+
+class EgressPipeline(_PooledStage):
+    """receive → decompress → deliver, reassembled in sequence order.
+
+    Decompression is much cheaper than compression, so ``workers``
+    defaults to 0 (the loop's default thread pool keeps the event loop
+    responsive without process-pool pickling).  Frames are delivered
+    strictly by per-stream sequence number: gaps are held (bounded by
+    ``queue_depth``), duplicates dropped and counted.
+    """
+
+    def __init__(self, workers: int = 0, queue_depth: int = 8,
+                 metrics: Metrics | None = None,
+                 executor: Executor | None = None,
+                 job: Callable[[int, bytes], bytes] | None = None) -> None:
+        super().__init__(workers, queue_depth, metrics, executor)
+        self._job = job or decode_payload
+
+    async def run(self, frames: Iterable[Frame] | AsyncIterator[Frame],
+                  deliver: Callable[[int, int, bytes], Awaitable[None]],
+                  on_end: Callable[[int, int], Awaitable[None]] | None = None,
+                  ) -> int:
+        """Deliver every data frame in order; returns frames delivered.
+
+        ``END`` frames flow through the same bounded queue, so by the
+        time ``on_end`` fires every earlier frame of the connection has
+        been delivered — that is what makes the ACK a delivery receipt
+        rather than a reception receipt.
+        """
+        loop = asyncio.get_running_loop()
+        pool = self._pool()
+        jobs: asyncio.Queue = asyncio.Queue(maxsize=self.queue_depth)
+        m = self.metrics
+
+        async def submit() -> None:
+            async for frame in _aiter(frames):
+                if frame.is_end:
+                    await jobs.put((frame, None, None))
+                    continue
+                fut = loop.run_in_executor(pool, self._job, frame.flags,
+                                           frame.payload)
+                await jobs.put((frame, perf_counter(), fut))
+                m.gauge("egress.queue_depth", jobs.qsize())
+            await jobs.put(None)
+
+        async def drain() -> int:
+            next_seq: dict[int, int] = {}
+            held: dict[int, dict[int, bytes]] = {}
+            delivered = 0
+            while (item := await jobs.get()) is not None:
+                frame, enq, fut = item
+                sid = frame.stream_id
+                if frame.is_end:
+                    if on_end is not None:
+                        await on_end(sid, frame.seq)
+                    continue
+                data = await fut
+                m.observe("egress.stage_wait_seconds", perf_counter() - enq)
+                m.inc("egress.frames_in")
+                m.inc("egress.bytes_in", frame.wire_size)
+                m.inc("egress.bytes_out", len(data))
+                want = next_seq.get(sid, 0)
+                if frame.seq < want or frame.seq in held.get(sid, ()):
+                    m.inc("egress.duplicate_frames")
+                    continue
+                if frame.seq > want:
+                    bucket = held.setdefault(sid, {})
+                    bucket[frame.seq] = data
+                    m.gauge("egress.reorder_depth", len(bucket))
+                    continue
+                await deliver(sid, want, data)
+                delivered += 1
+                want += 1
+                bucket = held.get(sid, {})
+                while want in bucket:
+                    await deliver(sid, want, bucket.pop(want))
+                    delivered += 1
+                    want += 1
+                next_seq[sid] = want
+            return delivered
+
+        _, delivered = await _run_both(submit(), drain())
+        return delivered

@@ -1,0 +1,200 @@
+"""The gateway frame protocol.
+
+A *frame* is the unit of traffic between gateway pairs: one input
+buffer, compressed (or passed through raw), prefixed with a fixed
+36-byte header.  All integers little-endian::
+
+    offset  size  field
+    0       4     magic  b"CZF1"
+    4       1     protocol version (1)
+    5       1     flags (bit 0: RAW, bit 1: END, bit 2: ACK)
+    6       2     reserved (0)
+    8       8     stream id
+    16      8     sequence number within the stream
+    24      4     payload length
+    28      4     CRC-32 of the payload
+    32      4     CRC-32 of bytes [0, 32) — header self-check
+
+    36      …     payload
+
+Payload semantics by flags:
+
+- no flags: a CULZSS container (``repro.container`` blob);
+- ``RAW``: the original bytes, sent verbatim because the container
+  came out no smaller (the incompressible-frame guard — a frame never
+  expands its buffer by more than the 36-byte header);
+- ``END``: end-of-stream marker; ``seq`` is the total number of data
+  frames in the stream, payload empty;
+- ``ACK``: egress → ingress delivery receipt; payload is
+  :func:`pack_ack` (frames delivered, bytes delivered, running CRC-32
+  of the delivered byte stream).
+
+The header carries its own CRC so a desynchronized or corrupted stream
+fails loudly at the frame boundary instead of feeding garbage to the
+container parser.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass
+
+from repro.util.checksum import crc32
+
+__all__ = [
+    "FLAG_ACK",
+    "FLAG_END",
+    "FLAG_RAW",
+    "FRAME_HEADER_SIZE",
+    "FRAME_MAGIC",
+    "Frame",
+    "FrameError",
+    "MAX_PAYLOAD",
+    "decode_frame",
+    "encode_frame",
+    "pack_ack",
+    "read_frame",
+    "unpack_ack",
+    "write_frame",
+]
+
+FRAME_MAGIC = b"CZF1"
+PROTOCOL_VERSION = 1
+FRAME_HEADER_SIZE = 36
+_HEADER_FMT = "<4sBBHQQII"  # through payload CRC; header CRC appended
+_ACK_FMT = "<QQI"
+
+FLAG_RAW = 1
+FLAG_END = 2
+FLAG_ACK = 4
+_KNOWN_FLAGS = FLAG_RAW | FLAG_END | FLAG_ACK
+
+#: Sanity bound: no single frame payload above 1 GiB.  Protects the
+#: receiver from allocating on a corrupted (but CRC-valid-header…)
+#: length field long before memory pressure becomes an outage.
+MAX_PAYLOAD = 1 << 30
+
+
+class FrameError(ValueError):
+    """A malformed, corrupted, or truncated frame."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One protocol frame (header fields + payload bytes)."""
+
+    stream_id: int
+    seq: int
+    flags: int = 0
+    payload: bytes = b""
+
+    @property
+    def is_raw(self) -> bool:
+        return bool(self.flags & FLAG_RAW)
+
+    @property
+    def is_end(self) -> bool:
+        return bool(self.flags & FLAG_END)
+
+    @property
+    def is_ack(self) -> bool:
+        return bool(self.flags & FLAG_ACK)
+
+    @property
+    def wire_size(self) -> int:
+        return FRAME_HEADER_SIZE + len(self.payload)
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize a frame: header (with CRCs) + payload."""
+    if len(frame.payload) > MAX_PAYLOAD:
+        raise FrameError(f"payload of {len(frame.payload)} bytes exceeds "
+                         f"the {MAX_PAYLOAD}-byte frame bound")
+    head = struct.pack(_HEADER_FMT, FRAME_MAGIC, PROTOCOL_VERSION,
+                       frame.flags, 0, frame.stream_id, frame.seq,
+                       len(frame.payload), crc32(frame.payload))
+    return head + struct.pack("<I", crc32(head)) + frame.payload
+
+
+def decode_frame(buf: bytes | bytearray | memoryview) -> tuple[Frame, int]:
+    """Parse one frame off the front of ``buf``.
+
+    Returns ``(frame, bytes_consumed)``; raises :class:`FrameError` on
+    corruption or if ``buf`` holds less than one whole frame.
+    """
+    buf = memoryview(buf)
+    if len(buf) < FRAME_HEADER_SIZE:
+        raise FrameError("truncated before frame header")
+    (magic, version, flags, _reserved, stream_id, seq, length,
+     payload_crc) = struct.unpack_from(_HEADER_FMT, buf)
+    (header_crc,) = struct.unpack_from("<I", buf, FRAME_HEADER_SIZE - 4)
+    if magic != FRAME_MAGIC:
+        raise FrameError("bad frame magic")
+    if crc32(bytes(buf[:FRAME_HEADER_SIZE - 4])) != header_crc:
+        raise FrameError("frame header checksum mismatch")
+    if version != PROTOCOL_VERSION:
+        raise FrameError(f"unsupported protocol version {version}")
+    if flags & ~_KNOWN_FLAGS:
+        raise FrameError(f"unknown frame flags {flags:#x}")
+    if length > MAX_PAYLOAD:
+        raise FrameError(f"frame length {length} exceeds bound")
+    end = FRAME_HEADER_SIZE + length
+    if len(buf) < end:
+        raise FrameError("truncated inside frame payload")
+    payload = bytes(buf[FRAME_HEADER_SIZE:end])
+    if crc32(payload) != payload_crc:
+        raise FrameError("frame payload checksum mismatch")
+    return Frame(stream_id=stream_id, seq=seq, flags=flags,
+                 payload=payload), end
+
+
+def pack_ack(frames: int, byte_count: int, crc: int) -> bytes:
+    """ACK payload: frames delivered, bytes delivered, delivery CRC."""
+    return struct.pack(_ACK_FMT, frames, byte_count, crc)
+
+
+def unpack_ack(payload: bytes) -> tuple[int, int, int]:
+    if len(payload) != struct.calcsize(_ACK_FMT):
+        raise FrameError("malformed ACK payload")
+    return struct.unpack(_ACK_FMT, payload)
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     timeout: float | None = None) -> Frame | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    A connection dropping *inside* a frame raises :class:`FrameError`;
+    exceeding ``timeout`` seconds raises :class:`asyncio.TimeoutError`.
+    """
+
+    async def _read() -> Frame | None:
+        try:
+            head = await reader.readexactly(FRAME_HEADER_SIZE)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise FrameError("connection closed mid-header") from exc
+        (_, _, _, _, _, _, length, _) = struct.unpack_from(_HEADER_FMT, head)
+        if length > MAX_PAYLOAD:
+            raise FrameError(f"frame length {length} exceeds bound")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise FrameError("connection closed mid-payload") from exc
+        frame, _ = decode_frame(head + body)
+        return frame
+
+    if timeout is None:
+        return await _read()
+    return await asyncio.wait_for(_read(), timeout)
+
+
+async def write_frame(writer: asyncio.StreamWriter, frame: Frame,
+                      timeout: float | None = None) -> None:
+    """Write one frame and drain (which is where backpressure bites)."""
+    writer.write(encode_frame(frame))
+    if timeout is None:
+        await writer.drain()
+    else:
+        await asyncio.wait_for(writer.drain(), timeout)

@@ -1,0 +1,1 @@
+"""Streaming gateway service tests."""

@@ -1,0 +1,66 @@
+"""Metrics layer: counters, gauges, histograms, snapshot shape."""
+
+from __future__ import annotations
+
+import json
+
+from repro.service.metrics import Histogram, Metrics
+
+
+def test_counters_accumulate():
+    m = Metrics()
+    m.inc("frames")
+    m.inc("frames", 4)
+    assert m.count("frames") == 5
+    assert m.count("never_touched") == 0
+
+
+def test_gauge_tracks_last_and_high_water():
+    m = Metrics()
+    for depth in (1, 5, 3):
+        m.gauge("queue", depth)
+    snap = m.snapshot()["gauges"]["queue"]
+    assert snap == {"last": 3, "max": 5}
+    assert m.gauge_max("queue") == 5
+    assert m.gauge_max("missing") == 0.0
+
+
+def test_histogram_stats():
+    h = Histogram()
+    for v in (1.0, 2.0, 3.0, 1000.0):
+        h.record(v)
+    assert h.count == 4
+    assert h.min == 1.0 and h.max == 1000.0
+    assert h.mean == 1006.0 / 4
+    snap = h.snapshot()
+    assert sum(snap["buckets"].values()) == 4
+    # 1000 lands alone in the (512, 1024] bucket
+    assert snap["buckets"]["le_2^10"] == 1
+
+
+def test_histogram_handles_zero_and_tiny():
+    h = Histogram()
+    h.record(0.0)
+    h.record(1e-30)
+    assert h.count == 2
+    assert h.min == 0.0
+    assert sum(h.snapshot()["buckets"].values()) == 2
+
+
+def test_snapshot_is_json_dumpable():
+    m = Metrics()
+    m.inc("a")
+    m.gauge("b", 2)
+    m.observe("c", 0.5)
+    text = json.dumps(m.snapshot())
+    assert '"counters"' in text and '"gauges"' in text
+    assert '"histograms"' in text
+
+
+def test_observe_builds_named_histograms():
+    m = Metrics()
+    for v in (0.1, 0.2, 0.4):
+        m.observe("wait", v)
+    hist = m.snapshot()["histograms"]["wait"]
+    assert hist["count"] == 3
+    assert abs(hist["sum"] - 0.7) < 1e-12

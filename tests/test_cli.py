@@ -55,6 +55,71 @@ def test_parser_requires_command():
         build_parser().parse_args([])
 
 
+def test_serve_and_send_in_help():
+    parser = build_parser()
+    help_text = parser.format_help()
+    assert "serve" in help_text and "send" in help_text
+
+
+def test_send_help_documents_gateway_knobs(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["send", "--help"])
+    out = capsys.readouterr().out
+    for flag in ("--port", "--workers", "--queue-depth", "--retries",
+                 "--timeout", "--metrics"):
+        assert flag in out
+
+
+def test_send_to_dead_port_fails_cleanly(capsys):
+    # nothing listens on the probe port; bounded retries then exit 2
+    import socket
+
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        port = s.getsockname()[1]
+    rc = main(["send", "--port", str(port), "--count", "1",
+               "--buffer-size", "64", "--workers", "0", "--retries", "0"])
+    assert rc == 2
+    assert "send failed" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+def test_serve_send_gateway_pair(tmp_path, capsys):
+    """serve in a subprocess, send in-process; the delivered stream file
+    must be bit-exact and the server must dump metrics on exit."""
+    import re
+    import subprocess
+    import sys
+
+    out_dir = tmp_path / "delivered"
+    srv = subprocess.Popen(
+        [sys.executable, "-c",
+         "from repro.cli import main; "
+         f"main(['serve', '--max-conns', '1', "
+         f"'--output-dir', {str(out_dir)!r}])"],
+        stdout=subprocess.PIPE, text=True)
+    try:
+        port = re.search(r":(\d+)", srv.stdout.readline()).group(1)
+        rc = main(["send", "--port", port, "--count", "3",
+                   "--buffer-size", "4096", "--workers", "2",
+                   "--stream-id", "5", "--metrics"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "egress delivered 3 frames" in out
+        assert "metrics snapshot" in out
+        server_out, _ = srv.communicate(timeout=60)
+    finally:
+        if srv.poll() is None:
+            srv.kill()
+            srv.communicate()
+    assert srv.returncode == 0
+    assert '"server.frames_delivered": 3' in server_out
+
+    want = b"".join(generate("cfiles", 4096, seed=1000 + i)
+                    for i in range(3))
+    assert (out_dir / "stream-5.bin").read_bytes() == want
+
+
 def test_report_subcommand_writes_markdown(tmp_path, capsys):
     # miniature end-to-end of `culzss report`: all five datasets, fit,
     # markdown emission

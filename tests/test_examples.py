@@ -26,7 +26,9 @@ def test_quickstart():
 
 def test_network_gateway():
     out = run_example("network_gateway.py")
+    assert "gateway pair" in out
     assert "bytes on the wire" in out
+    assert "delivery receipt" in out and "CRC verified" in out
     assert "net effect" in out
 
 
