@@ -1,0 +1,248 @@
+"""Benchmark the multicore engine and the shared-memory frame transport.
+
+Standalone (no pytest) so the CI quick lane and local profiling runs
+share one entry point::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py            # full
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick    # CI lane
+
+Two measurements:
+
+* **engine** — `ParallelEngine.encode_chunked`/`decode_chunked`
+  throughput per worker count, per dataset, at the requested buffer
+  size; every parallel run is checked byte-identical against the
+  serial path before its time is reported.
+* **transport** — per-frame overhead of moving frame bytes into and
+  out of a one-process pool via pickle (the executor pipe) versus a
+  recycled shared-memory slab, isolated with a no-op codec job so the
+  numbers measure the transport, not the compressor.
+
+Results land in ``BENCH_engine.json`` at the repo root
+(machine-readable trajectory, one file overwritten per run) and
+``benchmarks/results/bench_engine.txt`` (human-readable).  The JSON
+records ``cpu_count``: parallel speedups are only observable when the
+host actually has the cores — on a single-core runner the worker sweep
+degenerates to "no slowdown from sharding", which is still a useful
+regression signal for the merge overhead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from time import perf_counter
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.datasets import generate  # noqa: E402
+from repro.engine import ParallelEngine, SlabPool  # noqa: E402
+from repro.lzss.encoder import encode_chunked  # noqa: E402
+from repro.lzss.formats import CUDA_V2  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+JSON_PATH = REPO_ROOT / "BENCH_engine.json"
+
+CHUNK_SIZE = 4096
+
+
+# ----------------------------------------------------------- transport
+
+def _pickle_job(data: bytes) -> bytes:
+    """No-op codec: the frame crosses the pipe both ways via pickle —
+    the input is pickled in, the "result" payload pickled back, exactly
+    like the real codec jobs on the fallback path."""
+    return data
+
+
+def _slab_job(name: str, length: int) -> int:
+    """No-op codec: the frame stays in the slab; only ints cross."""
+    from repro.engine.shm import _attach
+
+    shm = _attach(name)
+    data = bytes(shm.buf[:length])  # consume the input
+    shm.buf[:length] = data  # write the "result" back in place
+    return length
+
+
+def bench_transport(frame_bytes: int, frames: int) -> list[dict]:
+    """A/B the pickle and slab transports through a 1-process pool."""
+    payload = os.urandom(frame_bytes)
+    out = []
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        pool.submit(_pickle_job, b"warm").result()  # fork + import cost
+
+        t0 = perf_counter()
+        for _ in range(frames):
+            echoed = pool.submit(_pickle_job, payload).result()
+            assert len(echoed) == frame_bytes
+        pickle_s = perf_counter() - t0
+        out.append(_transport_row("pickle", frame_bytes, frames, pickle_s))
+
+        with SlabPool(slab_bytes=max(frame_bytes, 1 << 16)) as slabs:
+            lease = slabs.acquire(frame_bytes)
+            assert lease is not None
+            t0 = perf_counter()
+            for _ in range(frames):
+                lease.write(payload)
+                n = pool.submit(_slab_job, lease.name, frame_bytes).result()
+                assert lease.read(n) == payload
+            shm_s = perf_counter() - t0
+            lease.release()
+        out.append(_transport_row("shm", frame_bytes, frames, shm_s))
+    out[1]["speedup_vs_pickle"] = round(pickle_s / shm_s, 3) if shm_s else None
+    return out
+
+
+def _transport_row(mode: str, frame_bytes: int, frames: int,
+                   seconds: float) -> dict:
+    return {
+        "mode": mode,
+        "frame_bytes": frame_bytes,
+        "frames": frames,
+        "seconds": round(seconds, 6),
+        "per_frame_ms": round(1e3 * seconds / frames, 4),
+        "mb_s": round(frame_bytes * frames / seconds / 1e6, 2),
+    }
+
+
+# -------------------------------------------------------------- engine
+
+def bench_engine(datasets: list[str], size_bytes: int,
+                 workers_list: list[int]) -> list[dict]:
+    """Encode/decode throughput per worker count, identity-checked."""
+    rows = []
+    for dataset in datasets:
+        data = np.frombuffer(generate(dataset, size_bytes, seed=7),
+                             dtype=np.uint8)
+        baseline = encode_chunked(data, CUDA_V2, CHUNK_SIZE)
+        base_encode_s = None
+        for workers in workers_list:
+            with ParallelEngine(workers=workers,
+                                min_parallel_bytes=0) as engine:
+                t0 = perf_counter()
+                result = engine.encode_chunked(data, CUDA_V2, CHUNK_SIZE)
+                encode_s = perf_counter() - t0
+                identical = (result.payload == baseline.payload
+                             and np.array_equal(result.chunk_sizes,
+                                                baseline.chunk_sizes))
+                t0 = perf_counter()
+                out = engine.decode_chunked(result.payload, CUDA_V2,
+                                            result.chunk_sizes, CHUNK_SIZE,
+                                            result.input_size)
+                decode_s = perf_counter() - t0
+                identical = identical and out == data.tobytes()
+            if base_encode_s is None:
+                base_encode_s = encode_s
+            rows.append({
+                "dataset": dataset,
+                "workers": workers,
+                "size_bytes": size_bytes,
+                "identical": bool(identical),
+                "encode_seconds": round(encode_s, 4),
+                "encode_mb_s": round(size_bytes / encode_s / 1e6, 3),
+                "decode_seconds": round(decode_s, 4),
+                "decode_mb_s": round(size_bytes / decode_s / 1e6, 3),
+                "speedup_vs_1": round(base_encode_s / encode_s, 3),
+            })
+    return rows
+
+
+# -------------------------------------------------------------- report
+
+def render(payload: dict) -> str:
+    meta = payload["meta"]
+    lines = [
+        "bench_engine: multicore codec + shm transport",
+        f"  cpu_count={meta['cpu_count']}  quick={meta['quick']}  "
+        f"python={meta['python']}",
+    ]
+    if meta["cpu_count"] < max(meta["workers"]):
+        lines.append(
+            f"  NOTE: only {meta['cpu_count']} core(s) available — "
+            "worker sweeps cannot show parallel speedup on this host; "
+            "treat speedup_vs_1 as a merge-overhead check.")
+    lines.append("")
+    lines.append("  engine throughput (CUDA_V2 tokens, 4 KiB chunks):")
+    for r in payload["engine"]:
+        lines.append(
+            f"    {r['dataset']:<12} workers={r['workers']}  "
+            f"encode {r['encode_mb_s']:7.3f} MB/s  "
+            f"decode {r['decode_mb_s']:7.2f} MB/s  "
+            f"speedup x{r['speedup_vs_1']:.2f}  "
+            f"identical={r['identical']}")
+    lines.append("")
+    lines.append("  frame transport through a 1-process pool:")
+    for r in payload["transport"]:
+        extra = (f"  ({r['speedup_vs_pickle']}x vs pickle)"
+                 if "speedup_vs_pickle" in r else "")
+        lines.append(
+            f"    {r['mode']:<6} {r['frame_bytes']:>8} B x{r['frames']:<4} "
+            f"{r['per_frame_ms']:8.3f} ms/frame  "
+            f"{r['mb_s']:8.1f} MB/s{extra}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for the CI lane")
+    parser.add_argument("--size-mb", type=float, default=None,
+                        help="engine buffer size in MiB "
+                             "(default 8, quick 0.25)")
+    parser.add_argument("--workers", default=None,
+                        help="comma-separated worker counts "
+                             "(default 1,2,4; quick 1,2)")
+    parser.add_argument("--datasets", default=None,
+                        help="comma-separated datasets "
+                             "(default cfiles,demap; quick cfiles)")
+    parser.add_argument("--output", default=str(JSON_PATH),
+                        help="machine-readable output path")
+    args = parser.parse_args(argv)
+
+    size_mb = args.size_mb or (0.25 if args.quick else 8.0)
+    workers = [int(w) for w in
+               (args.workers or ("1,2" if args.quick else "1,2,4")).split(",")]
+    datasets = (args.datasets
+                or ("cfiles" if args.quick else "cfiles,demap")).split(",")
+    size_bytes = int(size_mb * (1 << 20))
+    frame_bytes, frames = ((1 << 16, 32) if args.quick else (1 << 20, 64))
+
+    payload = {
+        "meta": {
+            "generated_by": "benchmarks/bench_engine.py",
+            "quick": args.quick,
+            "cpu_count": os.cpu_count() or 1,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "size_bytes": size_bytes,
+            "workers": workers,
+            "datasets": datasets,
+            "chunk_size": CHUNK_SIZE,
+        },
+        "engine": bench_engine(datasets, size_bytes, workers),
+        "transport": bench_transport(frame_bytes, frames),
+    }
+
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    text = render(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_engine.txt").write_text(text + "\n")
+    print(text)
+    print(f"\nwrote {args.output}")
+    if not all(r["identical"] for r in payload["engine"]):
+        print("FAIL: parallel output diverged from the serial path",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

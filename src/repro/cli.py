@@ -7,6 +7,7 @@ writing to the given files."
 Usage::
 
     culzss compress   INPUT OUTPUT [--version {1,2}] [--system SYSTEM]
+                      [--workers N]
     culzss decompress INPUT OUTPUT
     culzss info       INPUT
     culzss bench      [--size-mb N] [--datasets a,b,...]
@@ -17,7 +18,9 @@ Usage::
 ``serve``/``send`` run the streaming gateway pair (`repro.service`):
 ``serve`` is the egress gateway (decompress + deliver), ``send`` the
 ingress gateway (compress + ship); both print a metrics snapshot on
-exit.
+exit.  With process fan-out (``--workers``) frames travel through
+shared-memory slabs by default; ``--no-shm`` forces the pickle
+transport.
 
 ``--system`` selects any of the five evaluated systems (culzss-v1,
 culzss-v2, serial, pthread, bzip2); CULZSS/serial outputs are
@@ -40,7 +43,8 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         from repro.core import CompressionParams, gpu_compress
 
         version = 1 if system.endswith("1") else 2
-        buf = gpu_compress(data, CompressionParams(version=version))
+        buf = gpu_compress(data, CompressionParams(version=version),
+                           workers=args.workers)
         blob = buf.data
         print(f"{system}: {len(data)} -> {len(blob)} bytes "
               f"(ratio {buf.ratio:.4f}, modeled GTX-480 time "
@@ -54,7 +58,8 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         from repro.container import pack_container
         from repro.cpu import PthreadLzss
 
-        blob = pack_container(PthreadLzss().compress(data))
+        with PthreadLzss(n_threads=args.workers or None) as pthread:
+            blob = pack_container(pthread.compress(data))
         print(f"pthread: {len(data)} -> {len(blob)} bytes")
     elif system == "bzip2":
         from repro.bzip2 import compress
@@ -185,6 +190,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = GatewayServer(args.host, args.port, workers=args.workers,
                                queue_depth=args.queue_depth,
                                timeout=args.timeout, metrics=metrics,
+                               use_shm=False if args.no_shm else None,
                                deliver=deliver)
         await server.start()
         print(f"listening on {server.host}:{server.port}", flush=True)
@@ -223,6 +229,7 @@ def _cmd_send(args: argparse.Namespace) -> int:
                                workers=args.workers,
                                queue_depth=args.queue_depth,
                                timeout=args.timeout, retries=args.retries,
+                               use_shm=False if args.no_shm else None,
                                metrics=metrics)
         async with client:
             return await client.send_stream(buffers, stream_id=args.stream_id)
@@ -261,6 +268,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--system", choices=("culzss-v1", "culzss-v2", "serial",
                                         "pthread", "bzip2"),
                    help="which evaluated system to use")
+    p.add_argument("--workers", type=int, default=None,
+                   help="shard the encode across N cores "
+                        "(byte-identical output; default: serial)")
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress a container file")
@@ -298,6 +308,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="reassemble delivered streams into DIR/stream-N.bin")
     p.add_argument("--max-conns", type=int, default=0,
                    help="exit after N connections (0: serve until ^C)")
+    p.add_argument("--no-shm", action="store_true",
+                   help="disable the shared-memory frame transport "
+                        "(pickle frames through the pool pipe instead)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("send", help="send buffers through an ingress gateway")
@@ -323,6 +336,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="generated buffer size in bytes")
     p.add_argument("--metrics", action="store_true",
                    help="dump the client metrics snapshot on exit")
+    p.add_argument("--no-shm", action="store_true",
+                   help="disable the shared-memory frame transport "
+                        "(pickle frames through the pool pipe instead)")
     p.set_defaults(func=_cmd_send)
     return parser
 

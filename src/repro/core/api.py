@@ -78,17 +78,41 @@ class DecompressResult:
         return self.profile.total_seconds
 
 
-def _compressor_for(params: CompressionParams):
-    return V1Compressor(params) if params.version == 1 else V2Compressor(params)
+def _engine_for(workers, engine):
+    """Resolve the ``workers``/``engine`` pair into an engine (or None).
+
+    ``engine`` wins when given; otherwise ``workers > 1`` borrows the
+    process-wide pool for that width (persistent across calls), and
+    ``workers in (None, 0, 1)`` means the serial path.
+    """
+    if engine is not None:
+        return engine
+    if workers is not None and workers > 1:
+        from repro.engine import get_engine
+
+        return get_engine(workers)
+    return None
+
+
+def _compressor_for(params: CompressionParams, engine=None):
+    return (V1Compressor(params, engine=engine) if params.version == 1
+            else V2Compressor(params, engine=engine))
 
 
 def gpu_compress(buffer, params: CompressionParams | None = None,
-                 calibration: Calibration | None = None) -> CompressedBuffer:
+                 calibration: Calibration | None = None, *,
+                 workers: int | None = None,
+                 engine=None) -> CompressedBuffer:
     """In-memory compression on the (simulated) GPU.
 
     Parameters mirror the paper's ``Gpu_compress(in, out, params)``:
     the buffer may be ``bytes``/``bytearray``/``memoryview``/uint8
     array; ``params`` selects the CULZSS version and tuning knobs.
+
+    ``workers`` (or an explicit :class:`repro.engine.ParallelEngine`
+    via ``engine``) shards the encode pipeline across that many cores;
+    the container that comes back is byte-identical to the serial path,
+    whatever the worker count.
     """
     params = params or get_library().default_params()
     require(params.is_standard_format,
@@ -96,7 +120,7 @@ def gpu_compress(buffer, params: CompressionParams | None = None,
             "use V1Compressor/V2Compressor directly for tuning sweeps")
     cal = calibration or default_calibration()
     data = as_bytes(buffer)
-    compressor = _compressor_for(params)
+    compressor = _compressor_for(params, _engine_for(workers, engine))
     result = compressor.compress(data)
     if result.input_size == 0:
         return CompressedBuffer(data=pack_container(result), result=result,
@@ -111,8 +135,15 @@ def gpu_compress(buffer, params: CompressionParams | None = None,
 
 
 def gpu_decompress(blob, params: CompressionParams | None = None,
-                   calibration: Calibration | None = None) -> DecompressResult:
-    """In-memory decompression of a ``gpu_compress`` container."""
+                   calibration: Calibration | None = None, *,
+                   workers: int | None = None,
+                   engine=None) -> DecompressResult:
+    """In-memory decompression of a ``gpu_compress`` container.
+
+    ``workers``/``engine`` mirror :func:`gpu_compress`: chunk streams
+    are independent, so decode shards across cores with identical
+    output.
+    """
     cal = calibration or default_calibration()
     info = unpack_container(as_bytes(blob))
     require(info.is_chunked, "CULZSS containers are always chunked")
@@ -122,7 +153,10 @@ def gpu_decompress(blob, params: CompressionParams | None = None,
     params = params.with_overrides(
         chunk_size=info.chunk_size,
         window=min(params.window, info.chunk_size))
-    out, per_chunk_tokens = decode_chunked_with_stats(
+    engine = _engine_for(workers, engine)
+    decode = (engine.decode_chunked_with_stats if engine is not None
+              else decode_chunked_with_stats)
+    out, per_chunk_tokens = decode(
         info.payload, info.format, info.chunk_sizes, info.chunk_size,
         info.original_size)
     if info.original_size == 0:

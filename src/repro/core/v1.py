@@ -48,18 +48,24 @@ __all__ = ["V1Compressor"]
 class V1Compressor:
     """Functional V1 compression plus its GTX-480 cost model."""
 
-    def __init__(self, params: CompressionParams | None = None) -> None:
+    def __init__(self, params: CompressionParams | None = None,
+                 engine=None) -> None:
         params = params or CompressionParams(version=1)
         require(params.version == 1, "V1Compressor needs version=1 params")
         self.params = params
+        #: Optional :class:`repro.engine.ParallelEngine` — shards the
+        #: encode across cores with byte-identical output.
+        self.engine = engine
 
     def compress(self, data) -> EncodeResult:
         """Compress; always collects the detail arrays the model needs."""
-        return encode_chunked(as_u8(data), self.params.token_format,
-                              self.params.chunk_size,
-                              max_chain=self.params.max_chain,
-                              collect_detail=True,
-                              slice_size=self.params.slice_size)
+        encode = (self.engine.encode_chunked if self.engine is not None
+                  else encode_chunked)
+        return encode(as_u8(data), self.params.token_format,
+                      self.params.chunk_size,
+                      max_chain=self.params.max_chain,
+                      collect_detail=True,
+                      slice_size=self.params.slice_size)
 
     # ------------------------------------------------------------------
     # cost model

@@ -1,0 +1,291 @@
+"""Multicore chunked codec: one buffer, all cores, byte-identical output.
+
+The paper's premise is that LZSS over independent chunks is
+embarrassingly parallel — CULZSS gives every chunk (V1) or every
+position (V2) a GPU thread.  On the CPU we already exploit that shape
+*between* buffers (the service's process-pool fan-out) but a single
+``gpu_compress`` call ran its whole match → parse → tokenize → pack
+pipeline on one core.  :class:`ParallelEngine` shards the chunk
+sequence across a persistent thread pool — NumPy releases the GIL
+inside the vector kernels, exactly as :class:`repro.cpu.PthreadLzss`
+demonstrates — and merges the per-shard token streams and chunk tables
+into an :class:`~repro.lzss.encoder.EncodeResult` that is
+**byte-identical** to the serial :func:`~repro.lzss.encoder.encode_chunked`.
+
+Byte-identity holds because every stage is chunk-local: matches never
+cross chunk boundaries (the lag matcher zeroes window prefixes, the
+hash chain keys its buckets by chunk id), the greedy/lazy/optimal parse
+restarts at every chunk, and each chunk's bit stream is padded to a
+byte boundary.  Shards are always chunk-aligned runs, so sharding can
+only regroup work, never change it — asserted property-style in
+``tests/engine/test_parallel.py``.
+
+Decode shards the same way: chunk streams are mutually independent
+(§III.C), so each worker decodes a run of chunks into its slice of the
+output.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.lzss.decoder import decode_chunked_with_stats as _decode_serial
+from repro.lzss.encoder import (
+    DEFAULT_MAX_CHAIN,
+    EncodeResult,
+    encode_chunked as _encode_serial,
+)
+from repro.lzss.formats import TokenFormat
+from repro.lzss.stats import EncodeStats
+from repro.util.buffers import as_u8
+from repro.util.validation import require, require_range
+
+__all__ = ["ParallelEngine", "get_engine", "merge_encode_results",
+           "shard_chunk_runs", "shutdown_default_engines"]
+
+#: Below this many input bytes the fork/join overhead outweighs the
+#: parallel win; the engine falls through to the serial codec.
+MIN_PARALLEL_BYTES = 1 << 17
+
+
+def shard_chunk_runs(n: int, chunk_size: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``[0, n)`` into ≤ ``shards`` chunk-aligned byte runs.
+
+    Every boundary is a multiple of ``chunk_size`` (the invariant that
+    makes sharding invisible to the codec); chunk counts per shard
+    differ by at most one.
+    """
+    require_range(chunk_size, 1, 1 << 40, "chunk_size")
+    n_chunks = (n + chunk_size - 1) // chunk_size
+    shards = max(1, min(shards, n_chunks))
+    if n_chunks == 0:
+        return [(0, 0)]
+    base, extra = divmod(n_chunks, shards)
+    bounds: list[tuple[int, int]] = []
+    lo_chunk = 0
+    for s in range(shards):
+        hi_chunk = lo_chunk + base + (1 if s < extra else 0)
+        bounds.append((lo_chunk * chunk_size, min(hi_chunk * chunk_size, n)))
+        lo_chunk = hi_chunk
+    return bounds
+
+
+def _concat_detail(parts: list[np.ndarray | None],
+                   offsets: list[int] | None = None) -> np.ndarray | None:
+    """Concatenate optional per-shard detail arrays (None-propagating).
+
+    ``offsets`` rebases position-indexed arrays (token starts) into the
+    full-buffer coordinate space.
+    """
+    if any(p is None for p in parts):
+        return None
+    if offsets is None:
+        return np.concatenate(parts)
+    return np.concatenate([p + off for p, off in zip(parts, offsets)])
+
+
+def merge_encode_results(parts: list[EncodeResult], fmt: TokenFormat,
+                         chunk_size: int, input_size: int) -> EncodeResult:
+    """Reassemble per-shard chunked encodes into one result.
+
+    The inverse of :func:`shard_chunk_runs`: payloads and chunk tables
+    concatenate in shard order, counters sum, and the detail arrays the
+    GPU cost models consume (per-position compares, per-warp lockstep
+    compares, token starts/lengths) concatenate with position rebasing
+    where needed.
+    """
+    require(len(parts) > 0, "nothing to merge")
+    payload = b"".join(p.payload for p in parts)
+    chunk_sizes = np.concatenate(
+        [np.asarray(p.chunk_sizes, dtype=np.int64) for p in parts])
+
+    offsets = []
+    off = 0
+    for p in parts:
+        offsets.append(off)
+        off += p.input_size
+
+    stats_parts = [p.stats for p in parts]
+    compare_counts = [s.compare_count for s in stats_parts]
+    stats = EncodeStats(
+        input_size=input_size,
+        output_size=len(payload),
+        n_tokens=sum(s.n_tokens for s in stats_parts),
+        n_literals=sum(s.n_literals for s in stats_parts),
+        n_pairs=sum(s.n_pairs for s in stats_parts),
+        sum_match_length=sum(s.sum_match_length for s in stats_parts),
+        total_bits=sum(s.total_bits for s in stats_parts),
+        compare_count=(None if any(c is None for c in compare_counts)
+                       else sum(compare_counts)),
+        per_position_compares=_concat_detail(
+            [s.per_position_compares for s in stats_parts]),
+        per_warp_compares=_concat_detail(
+            [s.per_warp_compares for s in stats_parts]),
+        token_starts=_concat_detail(
+            [s.token_starts for s in stats_parts], offsets),
+        token_lengths=_concat_detail(
+            [s.token_lengths for s in stats_parts]),
+    )
+    return EncodeResult(payload=payload, format=fmt, input_size=input_size,
+                        chunk_sizes=chunk_sizes, chunk_size=chunk_size,
+                        stats=stats)
+
+
+class ParallelEngine:
+    """Persistent thread-pool codec over chunk-aligned shards.
+
+    One engine owns one :class:`ThreadPoolExecutor`, created lazily on
+    first use and reused for every subsequent call — the pool-churn that
+    made per-call parallelism a wash on small buffers is paid once.
+    Close explicitly (or use it as a context manager); the process-wide
+    engines from :func:`get_engine` are closed atexit.
+    """
+
+    def __init__(self, workers: int | None = None,
+                 min_parallel_bytes: int = MIN_PARALLEL_BYTES) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        require_range(workers, 1, 1024, "workers")
+        self.workers = workers
+        self.min_parallel_bytes = min_parallel_bytes
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ---------------------------------------------------------- plumbing
+
+    def _get_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            require(not self._closed, "engine is closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-engine")
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down; idempotent."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _shards(self, n: int, chunk_size: int) -> list[tuple[int, int]]:
+        if (self.workers <= 1 or n < self.min_parallel_bytes
+                or n <= chunk_size):
+            return [(0, n)]
+        return shard_chunk_runs(n, chunk_size, self.workers)
+
+    # ------------------------------------------------------------- codec
+
+    def encode_chunked(self, data, fmt: TokenFormat, chunk_size: int,
+                       max_chain: int = DEFAULT_MAX_CHAIN,
+                       collect_detail: bool = False,
+                       slice_size: int | None = None,
+                       parse: str = "greedy") -> EncodeResult:
+        """Parallel drop-in for :func:`repro.lzss.encoder.encode_chunked`.
+
+        Output containers are byte-identical to the serial path for any
+        worker count.  Per-warp detail collection needs warp-aligned
+        shard boundaries, so ``collect_detail`` with a chunk size that
+        is not a multiple of 32 falls back to the serial codec.
+        """
+        arr = as_u8(data)
+        n = arr.size
+        bounds = self._shards(n, chunk_size)
+        if collect_detail and chunk_size % 32:
+            bounds = [(0, n)]  # warp rows would straddle shard seams
+        if len(bounds) <= 1:
+            return _encode_serial(arr, fmt, chunk_size, max_chain=max_chain,
+                                  collect_detail=collect_detail,
+                                  slice_size=slice_size, parse=parse)
+        pool = self._get_pool()
+        futures = [
+            pool.submit(_encode_serial, arr[lo:hi], fmt, chunk_size,
+                        max_chain=max_chain, collect_detail=collect_detail,
+                        slice_size=slice_size, parse=parse)
+            for lo, hi in bounds
+        ]
+        parts = [f.result() for f in futures]
+        return merge_encode_results(parts, fmt, chunk_size, n)
+
+    def decode_chunked_with_stats(self, payload, fmt: TokenFormat,
+                                  chunk_sizes: np.ndarray, chunk_size: int,
+                                  output_size: int) -> tuple[bytes, np.ndarray]:
+        """Parallel drop-in for
+        :func:`repro.lzss.decoder.decode_chunked_with_stats`."""
+        arr = as_u8(payload)
+        chunk_sizes = np.asarray(chunk_sizes, dtype=np.int64)
+        bounds = self._shards(output_size, chunk_size)
+        if len(bounds) <= 1:
+            return _decode_serial(arr, fmt, chunk_sizes, chunk_size,
+                                  output_size)
+        require(int(chunk_sizes.sum()) == arr.size,
+                "chunk size table does not cover the payload")
+        payload_offsets = np.concatenate([[0], np.cumsum(chunk_sizes)])
+
+        def work(lo: int, hi: int) -> tuple[bytes, np.ndarray]:
+            c0, c1 = lo // chunk_size, (hi + chunk_size - 1) // chunk_size
+            piece = arr[payload_offsets[c0]:payload_offsets[c1]]
+            return _decode_serial(piece, fmt, chunk_sizes[c0:c1], chunk_size,
+                                  hi - lo)
+
+        pool = self._get_pool()
+        futures = [pool.submit(work, lo, hi) for lo, hi in bounds]
+        parts = [f.result() for f in futures]
+        out = b"".join(p[0] for p in parts)
+        tokens = np.concatenate([p[1] for p in parts])
+        return out, tokens
+
+    def decode_chunked(self, payload, fmt: TokenFormat,
+                       chunk_sizes: np.ndarray, chunk_size: int,
+                       output_size: int) -> bytes:
+        out, _tokens = self.decode_chunked_with_stats(
+            payload, fmt, chunk_sizes, chunk_size, output_size)
+        return out
+
+
+# ------------------------------------------------------- default engines
+
+_DEFAULT_ENGINES: dict[int, ParallelEngine] = {}
+_DEFAULT_LOCK = threading.Lock()
+
+
+def get_engine(workers: int | None = None) -> ParallelEngine:
+    """Process-wide shared engine for ``workers`` threads.
+
+    Engines are cached per worker count so repeated ``gpu_compress(...,
+    workers=4)`` calls reuse one pool; all cached engines are shut down
+    atexit (or explicitly via :func:`shutdown_default_engines`).
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    with _DEFAULT_LOCK:
+        engine = _DEFAULT_ENGINES.get(workers)
+        if engine is None:
+            engine = _DEFAULT_ENGINES[workers] = ParallelEngine(workers)
+        return engine
+
+
+def shutdown_default_engines() -> None:
+    """Close every engine :func:`get_engine` has handed out."""
+    with _DEFAULT_LOCK:
+        engines = list(_DEFAULT_ENGINES.values())
+        _DEFAULT_ENGINES.clear()
+    for engine in engines:
+        engine.close()
+
+
+atexit.register(shutdown_default_engines)

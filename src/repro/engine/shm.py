@@ -1,0 +1,258 @@
+"""Shared-memory slab pool: zero-copy frame transport for the gateway.
+
+The PR-1 service fans compression out over a ``ProcessPoolExecutor``,
+which pickles every input buffer into the worker and pickles every
+payload back — two full serialization passes through a pipe per frame.
+This module replaces that transport with ``multiprocessing``
+shared-memory slabs: the parent memcpys the frame into a slab, the
+worker attaches the slab *by name* (once, cached per process), reads
+the input in place, and writes the result payload back into the same
+slab; only a tiny ``(flags, length)`` descriptor crosses the pipe.
+
+Slabs are recycled through a free list (:class:`SlabPool`) so a steady
+stream of frames allocates shared memory only up to the pipeline's
+queue depth, and everything is unlinked on close.  Every entry point
+degrades gracefully: a platform without usable shared memory, a frame
+larger than a slab, or an exhausted pool all fall back to the pickle
+path — callers only ever see ``acquire() -> None``.
+
+The worker-side job functions live here (module level, so they pickle
+by reference into the pool) and wrap the service's
+``encode_payload`` / ``decode_payload``.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing import shared_memory
+
+from repro.util.validation import require, require_range
+
+__all__ = [
+    "SlabLease",
+    "SlabPool",
+    "decode_frame_job",
+    "encode_frame_job",
+    "shm_available",
+]
+
+#: Default slab capacity.  Frames larger than this use the pickle path.
+DEFAULT_SLAB_BYTES = 4 << 20
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a slab by name without resource-tracker registration.
+
+    Before 3.13 an attach registers the segment as if it were owned, so
+    every worker's tracker would try to unlink the parent's slabs (and,
+    with a fork-shared tracker, clobber the parent's own registration).
+    3.13 grew ``track=False`` for exactly this; older versions get the
+    standard workaround of patching ``register`` out for the duration
+    of the attach (safe here: attaches are serialized by the caller).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        pass
+    from multiprocessing import resource_tracker
+
+    orig = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig
+
+
+def shm_available(probe_bytes: int = 64) -> bool:
+    """Can this platform create and attach shared-memory segments?"""
+    try:
+        seg = shared_memory.SharedMemory(create=True, size=probe_bytes)
+    except Exception:
+        return False
+    try:
+        seg.close()
+        seg.unlink()
+    except Exception:
+        pass
+    return True
+
+
+class SlabLease:
+    """One checked-out slab: write the frame in, read the result out."""
+
+    __slots__ = ("_pool", "_shm", "released")
+
+    def __init__(self, pool: "SlabPool", shm: shared_memory.SharedMemory) -> None:
+        self._pool = pool
+        self._shm = shm
+        self.released = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def capacity(self) -> int:
+        return self._shm.size
+
+    def write(self, data: bytes | bytearray | memoryview) -> int:
+        """memcpy ``data`` into the slab; returns the byte count."""
+        n = len(data)
+        require(n <= self._shm.size, "frame exceeds slab capacity")
+        self._shm.buf[:n] = bytes(data) if isinstance(data, memoryview) else data
+        return n
+
+    def read(self, length: int) -> bytes:
+        """Copy ``length`` result bytes out of the slab."""
+        require_range(length, 0, self._shm.size, "length")
+        return bytes(self._shm.buf[:length])
+
+    def release(self) -> None:
+        """Return the slab to the pool; idempotent."""
+        if not self.released:
+            self.released = True
+            self._pool._release(self._shm)
+
+
+class SlabPool:
+    """Fixed-size shared-memory slabs behind a recycling free list.
+
+    ``max_slabs`` bounds total shared memory at ``max_slabs *
+    slab_bytes``; slabs are created lazily, so a pipeline that never
+    runs deep never pays for the bound.
+    """
+
+    def __init__(self, slab_bytes: int = DEFAULT_SLAB_BYTES,
+                 max_slabs: int = 8) -> None:
+        require_range(slab_bytes, 1, 1 << 40, "slab_bytes")
+        require_range(max_slabs, 1, 1 << 16, "max_slabs")
+        self.slab_bytes = slab_bytes
+        self.max_slabs = max_slabs
+        self._lock = threading.Lock()
+        self._free: list[shared_memory.SharedMemory] = []
+        self._all: list[shared_memory.SharedMemory] = []
+        self._closed = False
+        # Fail fast on platforms without shared memory: allocate the
+        # first slab eagerly so the constructor is the failure point
+        # and callers can fall back once instead of per frame.
+        first = shared_memory.SharedMemory(create=True, size=slab_bytes)
+        self._all.append(first)
+        self._free.append(first)
+
+    @property
+    def slabs_created(self) -> int:
+        return len(self._all)
+
+    @property
+    def slabs_free(self) -> int:
+        return len(self._free)
+
+    def acquire(self, need_bytes: int) -> SlabLease | None:
+        """Check out a slab able to hold ``need_bytes``.
+
+        Returns ``None`` — the caller's cue to use the pickle path —
+        when the frame is larger than a slab, the pool is exhausted, or
+        the pool is closed.
+        """
+        if need_bytes > self.slab_bytes:
+            return None
+        with self._lock:
+            if self._closed:
+                return None
+            if self._free:
+                return SlabLease(self, self._free.pop())
+            if len(self._all) < self.max_slabs:
+                try:
+                    shm = shared_memory.SharedMemory(create=True,
+                                                     size=self.slab_bytes)
+                except Exception:
+                    return None
+                self._all.append(shm)
+                return SlabLease(self, shm)
+        return None
+
+    def _release(self, shm: shared_memory.SharedMemory) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._free.append(shm)
+
+    def close(self) -> None:
+        """Unlink every slab; leases outstanding at close are dropped."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            slabs, self._all, self._free = self._all, [], []
+        for shm in slabs:
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:  # already gone — nothing to leak
+                pass
+
+    def __enter__(self) -> "SlabPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ------------------------------------------------------- worker side
+
+#: Slab attachments are cached per process: one ``shm_open`` per slab
+#: per worker for the life of the pool, not one per frame.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    with _ATTACH_LOCK:
+        shm = _ATTACHED.get(name)
+        if shm is None:
+            shm = _attach_untracked(name)
+            _ATTACHED[name] = shm
+        return shm
+
+
+def encode_frame_job(slab_name: str, length: int,
+                     version: int) -> tuple[int, int | bytes]:
+    """Pool-worker job: compress the frame sitting in a slab.
+
+    Reads ``length`` input bytes from the slab, compresses them through
+    the service codec, and writes the payload back over the slab (the
+    payload never exceeds the input thanks to the raw-passthrough
+    guard).  Returns ``(flags, payload_length)``; if the payload
+    unexpectedly cannot fit the slab it is returned by value instead —
+    ``(flags, payload_bytes)`` — and the transport degrades to pickle
+    for that frame only.
+    """
+    from repro.service.pipeline import encode_payload
+
+    shm = _attach(slab_name)
+    data = bytes(shm.buf[:length])
+    flags, payload = encode_payload(data, version)
+    if len(payload) > shm.size:  # pragma: no cover - guarded by raw path
+        return flags, payload
+    shm.buf[:len(payload)] = payload
+    return flags, len(payload)
+
+
+def decode_frame_job(slab_name: str, length: int,
+                     flags: int) -> int | bytes:
+    """Pool-worker job: decompress the frame payload sitting in a slab.
+
+    Returns the output length after writing the decoded bytes back into
+    the slab, or the decoded bytes by value when they exceed the slab
+    (decompression can expand past the slab size).
+    """
+    from repro.service.pipeline import decode_payload
+
+    shm = _attach(slab_name)
+    payload = bytes(shm.buf[:length])
+    data = decode_payload(flags, payload)
+    if len(data) > shm.size:
+        return data
+    shm.buf[:len(data)] = data
+    return len(data)

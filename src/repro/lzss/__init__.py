@@ -28,7 +28,7 @@ from repro.lzss.decoder import decode, decode_chunked, decode_chunked_with_stats
 from repro.lzss.encoder import EncodeResult, encode, encode_chunked
 from repro.lzss.formats import CUDA_V1, CUDA_V2, SERIAL, TokenFormat
 from repro.lzss.lagmatch import lag_best_matches
-from repro.lzss.matcher import hash_chain_best_matches
+from repro.lzss.matcher import hash_chain_best_matches, probe_incompressible
 from repro.lzss.parse import greedy_token_starts
 from repro.lzss.reference import (
     reference_decode,
@@ -59,6 +59,7 @@ __all__ = [
     "greedy_token_starts",
     "hash_chain_best_matches",
     "lag_best_matches",
+    "probe_incompressible",
     "reference_decode",
     "reference_encode",
     "reference_find_match",

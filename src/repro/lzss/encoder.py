@@ -61,8 +61,16 @@ def best_matches(
     max_chain: int = DEFAULT_MAX_CHAIN,
     collect_detail: bool = False,
     slice_size: int | None = None,
-) -> tuple[np.ndarray, np.ndarray, int | None, np.ndarray | None]:
-    """Dispatch to the right matcher; returns (len, dist, compares, per_pos)."""
+) -> tuple[np.ndarray, np.ndarray, int | None, np.ndarray | None,
+           np.ndarray | None]:
+    """Dispatch to the right matcher.
+
+    Returns ``(len, dist, compares, per_pos, warp_compares)``: the
+    all-position match arrays, then the exact comparison accounting the
+    lag matcher collects — total count, per-position breakdown, and the
+    per-warp SIMT-lockstep cost.  The last three are ``None`` on the
+    hash-chain path (serial window) or when ``collect_detail`` is off.
+    """
     if fmt.window <= LAG_WINDOW_LIMIT and slice_size is None:
         res = lag_best_matches(arr, fmt.window, fmt.max_match,
                                chunk_size=chunk_size,

@@ -121,17 +121,21 @@ class GatewayServer:
     strictly in sequence order per stream; ``None`` counts and discards
     (a sink gateway).  ``timeout`` bounds each frame read and each ACK
     write per connection, so a dead peer cannot pin a handler forever.
+    ``use_shm`` selects the shared-memory frame transport into the
+    decode pool (default: automatic — on whenever ``workers > 0``).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  workers: int = 0, queue_depth: int = 8,
                  timeout: float = 30.0, metrics: Metrics | None = None,
+                 use_shm: bool | None = None,
                  deliver: Callable[[int, int, bytes], Awaitable[None]]
                  | None = None) -> None:
         self.host = host
         self.port = port
         self.workers = workers
         self.queue_depth = queue_depth
+        self.use_shm = use_shm
         self.timeout = timeout
         self.metrics = metrics or Metrics()
         self._deliver = deliver
@@ -193,7 +197,8 @@ class GatewayServer:
             m.inc("server.streams_acked")
 
         egress = EgressPipeline(workers=self.workers,
-                                queue_depth=self.queue_depth, metrics=m)
+                                queue_depth=self.queue_depth, metrics=m,
+                                use_shm=self.use_shm)
         try:
             with egress:
                 await egress.run(frames(), deliver, on_end=on_end)
@@ -239,14 +244,16 @@ class GatewayClient:
     ``workers``/``queue_depth`` size the compression fan-out and the
     backpressure bound; ``retries``/``backoff`` govern transient-error
     retry on connect; ``timeout`` bounds each frame write and the ACK
-    read.
+    read; ``use_shm`` selects the shared-memory frame transport into
+    the compress pool (default: automatic — on whenever the pipeline
+    owns a process pool).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  version: int = 2, workers: int = 2, queue_depth: int = 8,
                  timeout: float = 30.0, retries: int = 3,
                  backoff: float = 0.05, metrics: Metrics | None = None,
-                 executor=None) -> None:
+                 use_shm: bool | None = None, executor=None) -> None:
         self.host = host
         self.port = port
         self.version = version
@@ -257,6 +264,7 @@ class GatewayClient:
         self._ingress = IngressPipeline(version=version, workers=workers,
                                         queue_depth=queue_depth,
                                         metrics=self.metrics,
+                                        use_shm=use_shm,
                                         executor=executor)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None

@@ -16,6 +16,21 @@ frames compress concurrently while frames leave in order.  The egress
 side additionally reassembles by sequence number, which makes it
 robust to duplicated or reordered frames should transport retries ever
 introduce them.
+
+Two transport fast paths keep the pool workers fed:
+
+* **Shared-memory frames** — with fan-out enabled, frame bytes travel
+  to and from the workers through recycled
+  :class:`~repro.engine.shm.SlabPool` slabs instead of being pickled
+  through the executor pipe in both directions; only a slab name and a
+  length descriptor cross the pipe.  Anything that prevents the slab
+  path (no platform support, oversized frame, exhausted pool, injected
+  executor or job) falls back to the pickle transport per frame and is
+  counted in ``*.shm_fallbacks``.
+* **Incompressibility probe** — ingress runs the cheap entropy probe
+  from :mod:`repro.lzss.matcher` on each buffer and ships
+  near-incompressible ones as :data:`FLAG_RAW` without occupying a
+  pool worker at all (``ingress.probe_raw_frames``).
 """
 
 from __future__ import annotations
@@ -44,10 +59,15 @@ def encode_payload(data: bytes, version: int = 2) -> tuple[int, bytes]:
     smaller than the input (random data inverts `highly_compressible`),
     ship the original bytes with :data:`FLAG_RAW` — so a frame never
     expands its buffer by more than :data:`FRAME_HEADER_SIZE` bytes.
+    The entropy probe short-circuits obviously incompressible buffers
+    to that same raw path before any match search runs.
     """
     from repro.core import CompressionParams, gpu_compress
+    from repro.lzss.matcher import probe_incompressible
 
     data = bytes(data)
+    if probe_incompressible(data):
+        return FLAG_RAW, data
     container = gpu_compress(data, CompressionParams(version=version)).data
     if len(container) >= len(data):
         return FLAG_RAW, data
@@ -90,7 +110,7 @@ async def _run_both(a: Awaitable, b: Awaitable) -> tuple:
 
 
 class _PooledStage:
-    """Shared executor plumbing for the two pipeline halves."""
+    """Shared executor + slab-transport plumbing for the two halves."""
 
     def __init__(self, workers: int, queue_depth: int,
                  metrics: Metrics | None, executor: Executor | None) -> None:
@@ -101,6 +121,9 @@ class _PooledStage:
         self.metrics = metrics or Metrics()
         self._executor = executor
         self._owns_executor = executor is None
+        self.use_shm = False  # resolved by the subclass constructors
+        self._slab_pool = None
+        self._shm_failed = False
 
     def _pool(self) -> Executor | None:
         """The fan-out executor; ``None`` means the loop's default pool."""
@@ -108,10 +131,33 @@ class _PooledStage:
             self._executor = ProcessPoolExecutor(max_workers=self.workers)
         return self._executor
 
+    def _slabs(self):
+        """The slab pool, or ``None`` when the pickle path applies.
+
+        Created lazily so pipelines that never run pay nothing; a
+        platform where shared memory fails is remembered so the
+        fallback costs one attempt, not one per frame.
+        """
+        if not self.use_shm or self._shm_failed:
+            return None
+        if self._slab_pool is None:
+            try:
+                from repro.engine.shm import SlabPool
+
+                self._slab_pool = SlabPool(
+                    max_slabs=self.queue_depth + 2)
+            except Exception:
+                self._shm_failed = True
+                return None
+        return self._slab_pool
+
     def close(self) -> None:
         if self._owns_executor and self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
+        if self._slab_pool is not None:
+            self._slab_pool.close()
+            self._slab_pool = None
 
     def __enter__(self):
         return self
@@ -126,23 +172,33 @@ class IngressPipeline(_PooledStage):
     ``workers`` is the compression fan-out width (0 = compress on the
     event loop's default thread pool — useful for tests); ``queue_depth``
     bounds frames in flight between the stages, which is both the
-    parallelism cap and the backpressure bound.
+    parallelism cap and the backpressure bound.  ``use_shm`` selects the
+    shared-memory frame transport; the default (``None``) enables it
+    exactly when the pipeline owns a process pool and runs the stock
+    codec job.
     """
 
     def __init__(self, version: int = 2, workers: int = 2,
                  queue_depth: int = 8, metrics: Metrics | None = None,
                  executor: Executor | None = None,
                  job: Callable[[bytes, int], tuple[int, bytes]] | None = None,
-                 ) -> None:
+                 use_shm: bool | None = None) -> None:
         super().__init__(workers, queue_depth, metrics, executor)
         self.version = version
         self._job = job or encode_payload
+        self._stock_job = job is None
+        if use_shm is None:
+            use_shm = workers > 0 and executor is None and job is None
+        self.use_shm = bool(use_shm) and self._stock_job
 
     async def run(self, stream_id: int,
                   buffers: Iterable[bytes] | AsyncIterator[bytes],
                   send: Callable[[Frame], Awaitable[None]]) -> int:
         """Push every buffer through compression and ``send``; returns
         the number of data frames emitted."""
+        from repro.engine.shm import encode_frame_job
+        from repro.lzss.matcher import probe_incompressible
+
         loop = asyncio.get_running_loop()
         pool = self._pool()
         jobs: asyncio.Queue = asyncio.Queue(maxsize=self.queue_depth)
@@ -150,11 +206,32 @@ class IngressPipeline(_PooledStage):
 
         async def submit() -> int:
             seq = 0
-            async for data in _aiter(buffers):
-                fut = loop.run_in_executor(pool, self._job, bytes(data),
-                                           self.version)
+            async for raw in _aiter(buffers):
+                data = bytes(raw)
+                lease = None
+                if self._stock_job and probe_incompressible(data):
+                    # Near-random buffer: the codec would only rediscover
+                    # FLAG_RAW the expensive way — skip the pool outright.
+                    fut = loop.create_future()
+                    fut.set_result((FLAG_RAW, data))
+                    m.inc("ingress.probe_raw_frames")
+                else:
+                    slabs = self._slabs()
+                    lease = (slabs.acquire(len(data))
+                             if slabs is not None else None)
+                    if lease is not None:
+                        n = lease.write(data)
+                        fut = loop.run_in_executor(
+                            pool, encode_frame_job, lease.name, n,
+                            self.version)
+                        m.inc("ingress.shm_frames")
+                    else:
+                        if slabs is not None:
+                            m.inc("ingress.shm_fallbacks")
+                        fut = loop.run_in_executor(pool, self._job, data,
+                                                   self.version)
                 enq = perf_counter()
-                await jobs.put((seq, len(data), enq, fut))
+                await jobs.put((seq, len(data), enq, fut, lease))
                 m.gauge("ingress.queue_depth", jobs.qsize())
                 seq += 1
             await jobs.put(None)
@@ -162,8 +239,20 @@ class IngressPipeline(_PooledStage):
 
         async def drain() -> None:
             while (item := await jobs.get()) is not None:
-                seq, n_in, enq, fut = item
-                flags, payload = await fut
+                seq, n_in, enq, fut, lease = item
+                res = None
+                try:
+                    flags, res = await fut
+                finally:
+                    if lease is not None and res is None:
+                        lease.release()
+                if lease is not None:
+                    # Length descriptor = payload is in the slab; bytes =
+                    # the worker degraded this frame to the pickle path.
+                    payload = lease.read(res) if isinstance(res, int) else res
+                    lease.release()
+                else:
+                    payload = res
                 m.observe("ingress.stage_wait_seconds", perf_counter() - enq)
                 frame = Frame(stream_id=stream_id, seq=seq, flags=flags,
                               payload=payload)
@@ -188,16 +277,27 @@ class EgressPipeline(_PooledStage):
     Decompression is much cheaper than compression, so ``workers``
     defaults to 0 (the loop's default thread pool keeps the event loop
     responsive without process-pool pickling).  Frames are delivered
-    strictly by per-stream sequence number: gaps are held (bounded by
-    ``queue_depth``), duplicates dropped and counted.
+    strictly by per-stream sequence number: gaps are held, duplicates
+    dropped and counted.  The reorder buffer is bounded at
+    ``queue_depth`` held frames per stream — a frame arriving while its
+    stream's buffer is full is dropped and counted in
+    ``egress.reorder_evictions``, so a peer that skips a sequence
+    number forever cannot grow the buffer without limit (the transport
+    retry resends dropped frames).  ``use_shm`` mirrors
+    :class:`IngressPipeline`.
     """
 
     def __init__(self, workers: int = 0, queue_depth: int = 8,
                  metrics: Metrics | None = None,
                  executor: Executor | None = None,
-                 job: Callable[[int, bytes], bytes] | None = None) -> None:
+                 job: Callable[[int, bytes], bytes] | None = None,
+                 use_shm: bool | None = None) -> None:
         super().__init__(workers, queue_depth, metrics, executor)
         self._job = job or decode_payload
+        self._stock_job = job is None
+        if use_shm is None:
+            use_shm = workers > 0 and executor is None and job is None
+        self.use_shm = bool(use_shm) and self._stock_job
 
     async def run(self, frames: Iterable[Frame] | AsyncIterator[Frame],
                   deliver: Callable[[int, int, bytes], Awaitable[None]],
@@ -210,6 +310,8 @@ class EgressPipeline(_PooledStage):
         been delivered — that is what makes the ACK a delivery receipt
         rather than a reception receipt.
         """
+        from repro.engine.shm import decode_frame_job
+
         loop = asyncio.get_running_loop()
         pool = self._pool()
         jobs: asyncio.Queue = asyncio.Queue(maxsize=self.queue_depth)
@@ -218,11 +320,22 @@ class EgressPipeline(_PooledStage):
         async def submit() -> None:
             async for frame in _aiter(frames):
                 if frame.is_end:
-                    await jobs.put((frame, None, None))
+                    await jobs.put((frame, None, None, None))
                     continue
-                fut = loop.run_in_executor(pool, self._job, frame.flags,
-                                           frame.payload)
-                await jobs.put((frame, perf_counter(), fut))
+                slabs = self._slabs()
+                lease = (slabs.acquire(len(frame.payload))
+                         if slabs is not None else None)
+                if lease is not None:
+                    n = lease.write(frame.payload)
+                    fut = loop.run_in_executor(pool, decode_frame_job,
+                                               lease.name, n, frame.flags)
+                    m.inc("egress.shm_frames")
+                else:
+                    if slabs is not None:
+                        m.inc("egress.shm_fallbacks")
+                    fut = loop.run_in_executor(pool, self._job, frame.flags,
+                                               frame.payload)
+                await jobs.put((frame, perf_counter(), fut, lease))
                 m.gauge("egress.queue_depth", jobs.qsize())
             await jobs.put(None)
 
@@ -231,13 +344,23 @@ class EgressPipeline(_PooledStage):
             held: dict[int, dict[int, bytes]] = {}
             delivered = 0
             while (item := await jobs.get()) is not None:
-                frame, enq, fut = item
+                frame, enq, fut, lease = item
                 sid = frame.stream_id
                 if frame.is_end:
                     if on_end is not None:
                         await on_end(sid, frame.seq)
                     continue
-                data = await fut
+                res = None
+                try:
+                    res = await fut
+                finally:
+                    if lease is not None and res is None:
+                        lease.release()
+                if lease is not None:
+                    data = res if isinstance(res, bytes) else lease.read(res)
+                    lease.release()
+                else:
+                    data = res
                 m.observe("egress.stage_wait_seconds", perf_counter() - enq)
                 m.inc("egress.frames_in")
                 m.inc("egress.bytes_in", frame.wire_size)
@@ -248,6 +371,9 @@ class EgressPipeline(_PooledStage):
                     continue
                 if frame.seq > want:
                     bucket = held.setdefault(sid, {})
+                    if len(bucket) >= self.queue_depth:
+                        m.inc("egress.reorder_evictions")
+                        continue
                     bucket[frame.seq] = data
                     m.gauge("egress.reorder_depth", len(bucket))
                     continue

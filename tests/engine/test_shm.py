@@ -1,0 +1,88 @@
+"""Slab pool lifecycle and the worker-side frame jobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    SlabPool,
+    decode_frame_job,
+    encode_frame_job,
+    shm_available,
+)
+from repro.service.protocol import FLAG_RAW
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="no usable POSIX shared memory")
+
+
+def test_acquire_release_recycles_one_slab():
+    with SlabPool(slab_bytes=1 << 12, max_slabs=4) as pool:
+        lease = pool.acquire(100)
+        assert lease is not None
+        name = lease.name
+        lease.release()
+        lease.release()  # idempotent
+        again = pool.acquire(100)
+        assert again is not None and again.name == name
+        assert pool.slabs_created == 1
+        again.release()
+
+
+def test_oversize_and_exhausted_fall_back_to_none():
+    with SlabPool(slab_bytes=1 << 12, max_slabs=1) as pool:
+        assert pool.acquire((1 << 12) + 1) is None  # bigger than a slab
+        lease = pool.acquire(16)
+        assert pool.acquire(16) is None  # pool exhausted
+        lease.release()
+        assert pool.acquire(16) is not None  # recycled
+
+
+def test_close_unlinks_and_disables():
+    pool = SlabPool(slab_bytes=1 << 12, max_slabs=2)
+    lease = pool.acquire(8)
+    assert lease is not None
+    pool.close()
+    pool.close()  # idempotent
+    assert pool.acquire(8) is None
+    lease.release()  # releasing into a closed pool is a no-op
+
+
+def test_lease_write_read_round_trip():
+    with SlabPool(slab_bytes=1 << 12) as pool:
+        lease = pool.acquire(64)
+        n = lease.write(b"hello slab")
+        assert lease.read(n) == b"hello slab"
+        with pytest.raises(ValueError):
+            lease.write(b"x" * ((1 << 12) + 1))
+        lease.release()
+
+
+def test_frame_jobs_code_in_place():
+    data = b"the quick brown fox jumps over the lazy dog " * 200
+    with SlabPool() as pool:
+        lease = pool.acquire(len(data))
+        n = lease.write(data)
+        flags, res = encode_frame_job(lease.name, n, 2)
+        assert isinstance(res, int)  # payload stayed in the slab
+        payload = lease.read(res)
+        assert not (flags & FLAG_RAW) and len(payload) < len(data)
+
+        n = lease.write(payload)
+        out_len = decode_frame_job(lease.name, n, flags)
+        assert isinstance(out_len, int)
+        assert lease.read(out_len) == data
+        lease.release()
+
+
+def test_decode_job_returns_bytes_when_output_exceeds_slab():
+    data = b"a" * 20_000  # decompresses far past a tiny slab
+    from repro.service.pipeline import encode_payload
+
+    flags, payload = encode_payload(data)
+    with SlabPool(slab_bytes=max(len(payload), 64)) as pool:
+        lease = pool.acquire(len(payload))
+        n = lease.write(payload)
+        res = decode_frame_job(lease.name, n, flags)
+        assert isinstance(res, bytes) and res == data
+        lease.release()
