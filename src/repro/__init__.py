@@ -31,7 +31,17 @@ from repro.core import (
     gpu_decompress,
 )
 from repro.cpu import PthreadLzss, SerialLzss
-from repro.lzss import CUDA_V1, CUDA_V2, SERIAL, TokenFormat
+from repro.errors import (
+    ContainerError,
+    CorruptChunkError,
+    CorruptHeaderError,
+    CorruptPayloadError,
+    FrameError,
+    ReproError,
+    TruncatedContainerError,
+    WorkerCrashError,
+)
+from repro.lzss import CUDA_V1, CUDA_V2, SERIAL, SalvageReport, TokenFormat
 
 __version__ = "1.0.0"
 
@@ -40,15 +50,24 @@ __all__ = [
     "CUDA_V2",
     "CompressedBuffer",
     "CompressionParams",
+    "ContainerError",
+    "CorruptChunkError",
+    "CorruptHeaderError",
+    "CorruptPayloadError",
     "CulzssLibrary",
     "DecompressResult",
+    "FrameError",
     "GpuDecompressor",
     "PthreadLzss",
+    "ReproError",
     "SERIAL",
+    "SalvageReport",
     "SerialLzss",
     "TokenFormat",
+    "TruncatedContainerError",
     "V1Compressor",
     "V2Compressor",
+    "WorkerCrashError",
     "__version__",
     "get_library",
     "gpu_compress",

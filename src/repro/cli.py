@@ -74,29 +74,46 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+
     blob = Path(args.input).read_bytes()
-    if blob[:4] == b"RBZ2":
-        from repro.bzip2 import decompress
+    rc = 0
+    try:
+        if blob[:4] == b"RBZ2":
+            from repro.bzip2 import decompress
 
-        out = decompress(blob)
-    elif blob[:4] == b"CLZS":
-        from repro.container import unpack_container
+            out = decompress(blob)
+        elif blob[:4] == b"CLZS":
+            from repro.container import unpack_container
 
-        info = unpack_container(blob)
-        if info.is_chunked:
-            from repro.core import gpu_decompress
+            info = unpack_container(blob, strict=not args.salvage)
+            if info.is_chunked:
+                from repro.core import gpu_decompress
 
-            out = gpu_decompress(blob).data
+                res = gpu_decompress(
+                    blob, errors="salvage" if args.salvage else "strict",
+                    fill_byte=args.fill_byte)
+                out = res.data
+                if res.salvage is not None:
+                    print(f"salvage: {res.salvage.describe()}")
+                    if not res.salvage.complete:
+                        rc = 1
+            else:
+                from repro.lzss import decode
+
+                out = decode(info.payload, info.format, info.original_size)
         else:
-            from repro.lzss import decode
-
-            out = decode(info.payload, info.format, info.original_size)
-    else:
-        print("unrecognized container magic", file=sys.stderr)
+            print("unrecognized container magic", file=sys.stderr)
+            return 2
+    except ReproError as exc:
+        print(f"decompress failed: {exc}", file=sys.stderr)
+        if not args.salvage:
+            print("hint: --salvage recovers intact chunks from a "
+                  "damaged container", file=sys.stderr)
         return 2
     Path(args.output).write_bytes(out)
     print(f"{len(blob)} -> {len(out)} bytes")
-    return 0
+    return rc
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -108,11 +125,14 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
     info = unpack_container(blob)
     print(f"format: {info.format.name}")
+    print(f"container version: {info.version}")
     print(f"original size: {info.original_size}")
     print(f"payload size: {len(info.payload)}")
     if info.is_chunked:
         print(f"chunks: {len(info.chunk_sizes)} x {info.chunk_size} bytes")
         print(f"chunk table overhead: {info.container_overhead} bytes")
+        print("per-chunk CRCs: "
+              + ("yes" if info.chunk_crcs is not None else "no"))
     return 0
 
 
@@ -276,6 +296,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("decompress", help="decompress a container file")
     p.add_argument("input")
     p.add_argument("output")
+    p.add_argument("--salvage", action="store_true",
+                   help="recover what a damaged container still holds: "
+                        "bad chunks become fill bytes and are reported "
+                        "(exit 1 on partial loss)")
+    p.add_argument("--fill-byte", type=int, default=0,
+                   help="fill value for unrecoverable chunks (0..255)")
     p.set_defaults(func=_cmd_decompress)
 
     p = sub.add_parser("info", help="describe a container file")

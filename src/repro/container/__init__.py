@@ -4,21 +4,29 @@ The paper's decompressor needs "a list of block compression sizes that
 are recorded during compression" (§III.C) to decode chunks in parallel;
 this package defines the byte format that carries it, plus integrity
 checksums.  Used identically by the in-memory API and the file I/O
-program.
+program.  Version 2 adds a CRC-32 per chunk so corruption condemns one
+chunk, not the archive — see :mod:`repro.container.format` and
+``docs/robustness.md``.
 """
 
 from repro.container.format import (
     CONTAINER_MAGIC,
+    CONTAINER_VERSION_V1,
+    CONTAINER_VERSION_V2,
     ContainerInfo,
     HEADER_SIZE,
     pack_container,
     unpack_container,
+    verify_chunks,
 )
 
 __all__ = [
     "CONTAINER_MAGIC",
+    "CONTAINER_VERSION_V1",
+    "CONTAINER_VERSION_V2",
     "ContainerInfo",
     "HEADER_SIZE",
     "pack_container",
     "unpack_container",
+    "verify_chunks",
 ]

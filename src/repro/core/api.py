@@ -27,7 +27,11 @@ from repro.core.params import CompressionParams
 from repro.core.v1 import V1Compressor
 from repro.core.v2 import V2Compressor
 from repro.gpusim.profiler import GpuProfile
-from repro.lzss.decoder import decode_chunked_with_stats
+from repro.lzss.decoder import (
+    SalvageReport,
+    decode_chunked_with_stats,
+    salvage_decode_chunked,
+)
 from repro.lzss.encoder import EncodeResult
 from repro.model.calibration import Calibration, default_calibration
 from repro.model.cpu import sample_match_statistics
@@ -68,10 +72,16 @@ class CompressedBuffer:
 
 @dataclass
 class DecompressResult:
-    """What ``gpu_decompress`` hands back."""
+    """What ``gpu_decompress`` hands back.
+
+    ``salvage`` is populated only by ``errors="salvage"`` decodes: a
+    :class:`repro.lzss.decoder.SalvageReport` naming the chunks that
+    were recovered and lost.  Strict decodes leave it ``None``.
+    """
 
     data: bytes
     profile: GpuProfile
+    salvage: SalvageReport | None = None
 
     @property
     def modeled_seconds(self) -> float:
@@ -137,15 +147,27 @@ def gpu_compress(buffer, params: CompressionParams | None = None,
 def gpu_decompress(blob, params: CompressionParams | None = None,
                    calibration: Calibration | None = None, *,
                    workers: int | None = None,
-                   engine=None) -> DecompressResult:
+                   engine=None, errors: str = "strict",
+                   fill_byte: int = 0) -> DecompressResult:
     """In-memory decompression of a ``gpu_compress`` container.
 
     ``workers``/``engine`` mirror :func:`gpu_compress`: chunk streams
     are independent, so decode shards across cores with identical
     output.
+
+    ``errors`` selects the corruption policy.  ``"strict"`` (the
+    default) raises the first :class:`repro.errors.ContainerError` a
+    damaged blob produces.  ``"salvage"`` decodes every chunk it can —
+    verifying per-chunk CRCs on version-2 containers before touching
+    the token stream — fills the byte ranges of unrecoverable chunks
+    with ``fill_byte``, and reports the damage in ``result.salvage``.
+    Salvage still needs an intact header and chunk table; damage there
+    raises regardless.
     """
+    require(errors in ("strict", "salvage"),
+            f"errors must be 'strict' or 'salvage', not {errors!r}")
     cal = calibration or default_calibration()
-    info = unpack_container(as_bytes(blob))
+    info = unpack_container(as_bytes(blob), strict=errors == "strict")
     require(info.is_chunked, "CULZSS containers are always chunked")
     params = params or get_library().default_params()
     # The search window is irrelevant on the decode side; clamp it so
@@ -154,14 +176,24 @@ def gpu_decompress(blob, params: CompressionParams | None = None,
         chunk_size=info.chunk_size,
         window=min(params.window, info.chunk_size))
     engine = _engine_for(workers, engine)
-    decode = (engine.decode_chunked_with_stats if engine is not None
-              else decode_chunked_with_stats)
-    out, per_chunk_tokens = decode(
-        info.payload, info.format, info.chunk_sizes, info.chunk_size,
-        info.original_size)
+    report = None
+    if errors == "salvage":
+        salvage = (engine.salvage_decode_chunked if engine is not None
+                   else salvage_decode_chunked)
+        out, per_chunk_tokens, report = salvage(
+            info.payload, info.format, info.chunk_sizes, info.chunk_size,
+            info.original_size, chunk_crcs=info.chunk_crcs,
+            fill_byte=fill_byte)
+    else:
+        decode = (engine.decode_chunked_with_stats if engine is not None
+                  else decode_chunked_with_stats)
+        out, per_chunk_tokens = decode(
+            info.payload, info.format, info.chunk_sizes, info.chunk_size,
+            info.original_size)
     if info.original_size == 0:
-        return DecompressResult(data=out, profile=GpuProfile())
+        return DecompressResult(data=out, profile=GpuProfile(),
+                                salvage=report)
     decomp = GpuDecompressor(params)
     profile = decomp.profile(per_chunk_tokens, len(info.payload),
                              info.original_size, info.chunk_sizes, cal)
-    return DecompressResult(data=out, profile=profile)
+    return DecompressResult(data=out, profile=profile, salvage=report)

@@ -30,11 +30,17 @@ from __future__ import annotations
 import atexit
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from collections import defaultdict
+from concurrent.futures import BrokenExecutor, Executor, ThreadPoolExecutor
 
 import numpy as np
 
-from repro.lzss.decoder import decode_chunked_with_stats as _decode_serial
+from repro.errors import WorkerCrashError
+from repro.lzss.decoder import (
+    SalvageReport,
+    decode_chunked_with_stats as _decode_serial,
+    salvage_decode_chunked as _salvage_serial,
+)
 from repro.lzss.encoder import (
     DEFAULT_MAX_CHAIN,
     EncodeResult,
@@ -51,6 +57,12 @@ __all__ = ["ParallelEngine", "get_engine", "merge_encode_results",
 #: Below this many input bytes the fork/join overhead outweighs the
 #: parallel win; the engine falls through to the serial codec.
 MIN_PARALLEL_BYTES = 1 << 17
+
+#: A shard failing with one of these means the *worker* died, not the
+#: work: ``BrokenExecutor`` covers ``BrokenProcessPool``/
+#: ``BrokenThreadPool`` (and injected crashes), ``WorkerCrashError``
+#: the fault-injection harness.  Anything else propagates unchanged.
+_CRASH_ERRORS = (BrokenExecutor, WorkerCrashError)
 
 
 def shard_chunk_runs(n: int, chunk_size: int, shards: int) -> list[tuple[int, int]]:
@@ -144,29 +156,93 @@ class ParallelEngine:
     made per-call parallelism a wash on small buffers is paid once.
     Close explicitly (or use it as a context manager); the process-wide
     engines from :func:`get_engine` are closed atexit.
+
+    Worker death is survivable: a shard whose future fails with a
+    broken-pool error is re-run serially in the caller's thread (output
+    stays byte-identical — shards are independent) and the pool is
+    rebuilt for subsequent calls.  Incidents are counted in
+    :attr:`counters` as ``worker_crashes`` and ``serial_fallbacks``.
+    ``executor_factory`` exists for exactly that failure path: the
+    fault-injection harness substitutes a crash-on-Nth-call executor.
     """
 
     def __init__(self, workers: int | None = None,
-                 min_parallel_bytes: int = MIN_PARALLEL_BYTES) -> None:
+                 min_parallel_bytes: int = MIN_PARALLEL_BYTES,
+                 executor_factory=None) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
         require_range(workers, 1, 1024, "workers")
         self.workers = workers
         self.min_parallel_bytes = min_parallel_bytes
-        self._pool: ThreadPoolExecutor | None = None
+        self._executor_factory = executor_factory
+        self._pool: Executor | None = None
         self._lock = threading.Lock()
         self._closed = False
+        self.counters: dict[str, int] = defaultdict(int)
 
     # ---------------------------------------------------------- plumbing
 
-    def _get_pool(self) -> ThreadPoolExecutor:
+    def _make_pool(self) -> Executor:
+        if self._executor_factory is not None:
+            return self._executor_factory()
+        return ThreadPoolExecutor(max_workers=self.workers,
+                                  thread_name_prefix="repro-engine")
+
+    def _get_pool(self) -> Executor:
         with self._lock:
             require(not self._closed, "engine is closed")
             if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.workers,
-                    thread_name_prefix="repro-engine")
+                self._pool = self._make_pool()
             return self._pool
+
+    def _note_crash(self, broken: Executor) -> None:
+        """Record a worker death and retire the broken pool.
+
+        The next :meth:`_get_pool` builds a fresh pool, so one crash
+        costs one rebuild — not a rebuild per failed shard: every
+        pending future on the same broken pool fails into the serial
+        path without touching the replacement.
+        """
+        self.counters["worker_crashes"] += 1
+        with self._lock:
+            if self._pool is broken:
+                self._pool = None
+        try:
+            broken.shutdown(wait=False)
+        except Exception:
+            pass
+
+    def _run_shards(self, pool: Executor, calls: list) -> list:
+        """Submit ``(fn, args, kwargs)`` per shard; fall back serially.
+
+        Returns per-shard results in order.  A shard lost to a worker
+        crash — at submit time or at result time — is recomputed inline
+        (``serial_fallbacks``); shards are independent so the merged
+        result is unchanged.
+        """
+        futures = []
+        for fn, args, kwargs in calls:
+            try:
+                futures.append(pool.submit(fn, *args, **kwargs))
+            except _CRASH_ERRORS:
+                futures.append(None)
+        results = []
+        crashed = False
+        for (fn, args, kwargs), fut in zip(calls, futures):
+            res = None
+            if fut is not None:
+                try:
+                    res = fut.result()
+                except _CRASH_ERRORS:
+                    res = None
+            if res is None:
+                if not crashed:
+                    crashed = True
+                    self._note_crash(pool)
+                self.counters["serial_fallbacks"] += 1
+                res = fn(*args, **kwargs)
+            results.append(res)
+        return results
 
     def close(self) -> None:
         """Shut the pool down; idempotent."""
@@ -212,18 +288,18 @@ class ParallelEngine:
                                   collect_detail=collect_detail,
                                   slice_size=slice_size, parse=parse)
         pool = self._get_pool()
-        futures = [
-            pool.submit(_encode_serial, arr[lo:hi], fmt, chunk_size,
-                        max_chain=max_chain, collect_detail=collect_detail,
-                        slice_size=slice_size, parse=parse)
-            for lo, hi in bounds
-        ]
-        parts = [f.result() for f in futures]
+        calls = [(_encode_serial, (arr[lo:hi], fmt, chunk_size),
+                  dict(max_chain=max_chain, collect_detail=collect_detail,
+                       slice_size=slice_size, parse=parse))
+                 for lo, hi in bounds]
+        parts = self._run_shards(pool, calls)
         return merge_encode_results(parts, fmt, chunk_size, n)
 
     def decode_chunked_with_stats(self, payload, fmt: TokenFormat,
                                   chunk_sizes: np.ndarray, chunk_size: int,
-                                  output_size: int) -> tuple[bytes, np.ndarray]:
+                                  output_size: int, *,
+                                  chunk_crcs: np.ndarray | None = None,
+                                  ) -> tuple[bytes, np.ndarray]:
         """Parallel drop-in for
         :func:`repro.lzss.decoder.decode_chunked_with_stats`."""
         arr = as_u8(payload)
@@ -231,7 +307,7 @@ class ParallelEngine:
         bounds = self._shards(output_size, chunk_size)
         if len(bounds) <= 1:
             return _decode_serial(arr, fmt, chunk_sizes, chunk_size,
-                                  output_size)
+                                  output_size, chunk_crcs=chunk_crcs)
         require(int(chunk_sizes.sum()) == arr.size,
                 "chunk size table does not cover the payload")
         payload_offsets = np.concatenate([[0], np.cumsum(chunk_sizes)])
@@ -239,15 +315,63 @@ class ParallelEngine:
         def work(lo: int, hi: int) -> tuple[bytes, np.ndarray]:
             c0, c1 = lo // chunk_size, (hi + chunk_size - 1) // chunk_size
             piece = arr[payload_offsets[c0]:payload_offsets[c1]]
+            crcs = chunk_crcs[c0:c1] if chunk_crcs is not None else None
             return _decode_serial(piece, fmt, chunk_sizes[c0:c1], chunk_size,
-                                  hi - lo)
+                                  hi - lo, chunk_crcs=crcs, first_chunk=c0)
 
         pool = self._get_pool()
-        futures = [pool.submit(work, lo, hi) for lo, hi in bounds]
-        parts = [f.result() for f in futures]
+        parts = self._run_shards(pool, [(work, (lo, hi), {})
+                                        for lo, hi in bounds])
         out = b"".join(p[0] for p in parts)
         tokens = np.concatenate([p[1] for p in parts])
         return out, tokens
+
+    def salvage_decode_chunked(self, payload, fmt: TokenFormat,
+                               chunk_sizes: np.ndarray, chunk_size: int,
+                               output_size: int, *,
+                               chunk_crcs: np.ndarray | None = None,
+                               fill_byte: int = 0,
+                               ) -> tuple[bytes, np.ndarray, SalvageReport]:
+        """Parallel drop-in for
+        :func:`repro.lzss.decoder.salvage_decode_chunked`.
+
+        Chunks are independent, so salvage shards like a normal decode;
+        per-shard reports merge into one (indices and byte ranges are
+        rebased into full-buffer coordinates).
+        """
+        arr = as_u8(payload)
+        chunk_sizes = np.asarray(chunk_sizes, dtype=np.int64)
+        bounds = self._shards(output_size, chunk_size)
+        if len(bounds) <= 1:
+            return _salvage_serial(arr, fmt, chunk_sizes, chunk_size,
+                                   output_size, chunk_crcs=chunk_crcs,
+                                   fill_byte=fill_byte)
+        payload_offsets = np.concatenate([[0], np.cumsum(chunk_sizes)])
+
+        def work(lo: int, hi: int):
+            c0, c1 = lo // chunk_size, (hi + chunk_size - 1) // chunk_size
+            # Slices clamp at the (possibly truncated) payload end; the
+            # serial salvage marks the chunks that ran past it as lost.
+            piece = arr[min(payload_offsets[c0], arr.size):
+                        min(payload_offsets[c1], arr.size)]
+            crcs = chunk_crcs[c0:c1] if chunk_crcs is not None else None
+            return _salvage_serial(piece, fmt, chunk_sizes[c0:c1],
+                                   chunk_size, hi - lo, chunk_crcs=crcs,
+                                   fill_byte=fill_byte, first_chunk=c0)
+
+        pool = self._get_pool()
+        parts = self._run_shards(pool, [(work, (lo, hi), {})
+                                        for lo, hi in bounds])
+        out = b"".join(p[0] for p in parts)
+        tokens = np.concatenate([p[1] for p in parts])
+        report = SalvageReport(n_chunks=int(chunk_sizes.size),
+                               fill_byte=fill_byte)
+        for (lo, _hi), (_o, _t, part) in zip(bounds, parts):
+            report.recovered.extend(part.recovered)
+            report.lost.extend(part.lost)
+            report.lost_ranges.extend((lo + a, lo + b)
+                                      for a, b in part.lost_ranges)
+        return out, tokens, report
 
     def decode_chunked(self, payload, fmt: TokenFormat,
                        chunk_sizes: np.ndarray, chunk_size: int,

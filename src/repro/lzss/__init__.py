@@ -24,7 +24,13 @@ from repro.lzss.constants import (
     SERIAL_LOOKAHEAD,
     SERIAL_WINDOW,
 )
-from repro.lzss.decoder import decode, decode_chunked, decode_chunked_with_stats
+from repro.lzss.decoder import (
+    SalvageReport,
+    decode,
+    decode_chunked,
+    decode_chunked_with_stats,
+    salvage_decode_chunked,
+)
 from repro.lzss.encoder import EncodeResult, encode, encode_chunked
 from repro.lzss.formats import CUDA_V1, CUDA_V2, SERIAL, TokenFormat
 from repro.lzss.lagmatch import lag_best_matches
@@ -50,6 +56,7 @@ __all__ = [
     "SERIAL",
     "SERIAL_LOOKAHEAD",
     "SERIAL_WINDOW",
+    "SalvageReport",
     "TokenFormat",
     "decode",
     "decode_chunked",
@@ -64,4 +71,5 @@ __all__ = [
     "reference_encode",
     "reference_find_match",
     "reference_tokenize",
+    "salvage_decode_chunked",
 ]

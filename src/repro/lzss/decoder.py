@@ -16,30 +16,81 @@ copy bytes the decode itself produces.  Both dependencies vectorize:
 
 The scalar loop in :func:`repro.lzss.reference.reference_decode` is the
 specification; this module is property-tested against it.
+
+Corruption raises :class:`~repro.errors.CorruptChunkError` carrying
+the chunk index, and :func:`salvage_decode_chunked` turns those
+failures (plus per-chunk CRC mismatches) into a
+:class:`SalvageReport` instead — bad chunks become fill bytes, every
+other chunk decodes byte-identically.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
+from repro.errors import CorruptChunkError, TruncatedContainerError
 from repro.lzss.formats import FLAG_LITERAL, TokenFormat
 from repro.lzss.parse import reachable_from
 from repro.util.bitio import gather_fields, ragged_arange, unpack_bits
 from repro.util.buffers import as_u8
+from repro.util.checksum import crc32
 from repro.util.validation import require
 
-__all__ = ["decode", "decode_chunked", "decode_chunked_with_stats"]
+__all__ = ["SalvageReport", "decode", "decode_chunked",
+           "decode_chunked_with_stats", "salvage_decode_chunked"]
 
 
-def _decode_stream(payload: np.ndarray, fmt: TokenFormat,
-                   output_size: int) -> tuple[np.ndarray, int]:
-    """Decode one continuous bit stream; returns (bytes, token count)."""
+@dataclass
+class SalvageReport:
+    """What salvage decode recovered — and what it could not.
+
+    ``recovered``/``lost`` are chunk indices; ``lost_ranges`` the
+    corresponding ``[lo, hi)`` byte ranges of the *uncompressed* output
+    that were filled with ``fill_byte`` instead of data.
+    """
+
+    n_chunks: int
+    recovered: list[int] = field(default_factory=list)
+    lost: list[int] = field(default_factory=list)
+    lost_ranges: list[tuple[int, int]] = field(default_factory=list)
+    fill_byte: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """Did every chunk decode (i.e. was salvage a full recovery)?"""
+        return not self.lost
+
+    @property
+    def lost_bytes(self) -> int:
+        return sum(hi - lo for lo, hi in self.lost_ranges)
+
+    def describe(self) -> str:
+        if self.complete:
+            return f"all {self.n_chunks} chunks recovered"
+        return (f"recovered {len(self.recovered)}/{self.n_chunks} chunks; "
+                f"lost chunks {self.lost} ({self.lost_bytes} bytes "
+                f"filled with {self.fill_byte:#04x})")
+
+
+def _decode_stream(payload: np.ndarray, fmt: TokenFormat, output_size: int,
+                   chunk_index: int = 0) -> tuple[np.ndarray, int]:
+    """Decode one continuous bit stream; returns (bytes, token count).
+
+    ``chunk_index`` only labels errors: any corruption raises
+    :class:`CorruptChunkError` naming this chunk.
+    """
+    def corrupt(message: str, token: int | None = None) -> CorruptChunkError:
+        return CorruptChunkError(message, chunk_index=chunk_index,
+                                 token_position=token)
+
     if output_size == 0:
         return np.zeros(0, dtype=np.uint8), 0
     bits = unpack_bits(payload)
     nbits = bits.size
-    require(nbits >= fmt.literal_bits,
-            "corrupt stream: too short for a single token")
+    if nbits < fmt.literal_bits:
+        raise corrupt("corrupt stream: too short for a single token")
 
     # --- token scan -----------------------------------------------------
     jump = np.where(bits == FLAG_LITERAL, fmt.literal_bits, fmt.pair_bits)
@@ -62,14 +113,18 @@ def _decode_stream(payload: np.ndarray, fmt: TokenFormat,
                                fmt.offset_bits + fmt.length_bits)
         lengths = (values & ((1 << fmt.length_bits) - 1)) + fmt.min_match
         distances = (values >> fmt.length_bits) + 1
-        require(bool((distances <= fmt.window).all()),
-                "corrupt stream: distance exceeds window")
+        over = distances > fmt.window
+        if bool(over.any()):
+            raise corrupt("corrupt stream: distance exceeds window",
+                          token=int(pair_idx[np.nonzero(over)[0][0]]))
         out_len[pair_idx] = lengths
 
     ends = np.cumsum(out_len)
     keep = int(np.searchsorted(ends, output_size, side="left")) + 1
-    require(keep <= starts.size and int(ends[keep - 1]) == output_size,
-            "corrupt stream: token output does not land on declared size")
+    if not (keep <= starts.size and int(ends[keep - 1]) == output_size):
+        raise corrupt(
+            "corrupt stream: token output does not land on declared size",
+            token=min(keep, starts.size) - 1)
     starts, is_lit, out_len = starts[:keep], is_lit[:keep], out_len[:keep]
     out_start = ends[:keep] - out_len
 
@@ -91,8 +146,12 @@ def _decode_stream(payload: np.ndarray, fmt: TokenFormat,
         p_dist = (values_p >> fmt.length_bits) + 1
         flat = np.repeat(p_start, p_len) + ragged_arange(p_len)
         parent[flat] = flat - np.repeat(p_dist, p_len)
-        require(int(parent.min()) >= 0,
-                "corrupt stream: back-reference before stream start")
+        if int(parent.min()) < 0:
+            bad = int(np.nonzero(parent < 0)[0][0])
+            raise corrupt("corrupt stream: back-reference before stream "
+                          "start",
+                          token=int(np.searchsorted(out_start, bad,
+                                                    side="right")) - 1)
 
     # Pointer-jumping to literal roots; depth halves every round.
     for _ in range(64):
@@ -101,7 +160,10 @@ def _decode_stream(payload: np.ndarray, fmt: TokenFormat,
             break
         parent = grand
     else:  # pragma: no cover - 2**64 chain depth is impossible
-        raise ValueError("corrupt stream: unresolvable reference chain")
+        unresolved = int(np.nonzero(parent != parent[parent])[0][0])
+        raise corrupt("corrupt stream: unresolvable reference chain",
+                      token=int(np.searchsorted(out_start, unresolved,
+                                                side="right")) - 1)
 
     return values8[parent], keep
 
@@ -115,11 +177,17 @@ def decode(payload, fmt: TokenFormat, output_size: int) -> bytes:
 
 def decode_chunked_with_stats(
         payload, fmt: TokenFormat, chunk_sizes: np.ndarray,
-        chunk_size: int, output_size: int) -> tuple[bytes, np.ndarray]:
+        chunk_size: int, output_size: int, *,
+        chunk_crcs: np.ndarray | None = None,
+        first_chunk: int = 0) -> tuple[bytes, np.ndarray]:
     """Like :func:`decode_chunked` but also returns per-chunk token counts.
 
     The token counts are what the GPU decompression cost model charges
-    each chunk thread for.
+    each chunk thread for.  With ``chunk_crcs`` (the container-v2
+    table), every chunk's CRC-32 is verified *before* its decode and a
+    mismatch raises :class:`CorruptChunkError` naming the chunk.
+    ``first_chunk`` rebases chunk indices in errors when decoding a
+    shard of a larger buffer (the parallel engine's case).
     """
     arr = as_u8(payload)
     chunk_sizes = np.asarray(chunk_sizes, dtype=np.int64)
@@ -137,8 +205,65 @@ def decode_chunked_with_stats(
         lo = c * chunk_size
         hi = min(lo + chunk_size, output_size)
         piece = arr[offsets[c]:offsets[c + 1]]
-        out[lo:hi], tokens[c] = _decode_stream(piece, fmt, hi - lo)
+        if chunk_crcs is not None and crc32(piece) != int(chunk_crcs[c]):
+            raise CorruptChunkError("chunk checksum mismatch",
+                                    chunk_index=first_chunk + c,
+                                    offset=int(offsets[c]))
+        out[lo:hi], tokens[c] = _decode_stream(piece, fmt, hi - lo,
+                                               chunk_index=first_chunk + c)
     return out.tobytes(), tokens
+
+
+def salvage_decode_chunked(
+        payload, fmt: TokenFormat, chunk_sizes: np.ndarray,
+        chunk_size: int, output_size: int, *,
+        chunk_crcs: np.ndarray | None = None, fill_byte: int = 0,
+        first_chunk: int = 0) -> tuple[bytes, np.ndarray, SalvageReport]:
+    """Best-effort chunked decode: recover every chunk that checks out.
+
+    Chunk streams are mutually independent (§III.C), so one corrupt or
+    missing chunk never poisons its neighbours.  A chunk is *lost* when
+    its compressed bytes run past the (truncated) payload end, its
+    CRC-32 mismatches ``chunk_crcs`` (container v2), or its token
+    stream fails to decode (the only detection available for v1); lost
+    chunks come back as ``fill_byte`` and are itemized in the returned
+    :class:`SalvageReport`.  Recovered chunks are byte-identical to a
+    clean decode.  Returns ``(data, per_chunk_tokens, report)`` with
+    ``tokens == 0`` for lost chunks.
+    """
+    require(0 <= fill_byte <= 255, "fill_byte must be one byte")
+    arr = as_u8(payload)
+    chunk_sizes = np.asarray(chunk_sizes, dtype=np.int64)
+    n_chunks = chunk_sizes.size
+    expected = (output_size + chunk_size - 1) // chunk_size if output_size else 0
+    require(n_chunks == expected,
+            f"expected {expected} chunks for {output_size} bytes, got {n_chunks}")
+
+    out = np.full(output_size, fill_byte, dtype=np.uint8)
+    tokens = np.zeros(n_chunks, dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(chunk_sizes)])
+    report = SalvageReport(n_chunks=n_chunks, fill_byte=fill_byte)
+    for c in range(n_chunks):
+        lo = c * chunk_size
+        hi = min(lo + chunk_size, output_size)
+        p_lo, p_hi = int(offsets[c]), int(offsets[c + 1])
+        good = p_hi <= arr.size
+        if good and chunk_crcs is not None:
+            good = crc32(arr[p_lo:p_hi]) == int(chunk_crcs[c])
+        if good:
+            try:
+                out[lo:hi], tokens[c] = _decode_stream(
+                    arr[p_lo:p_hi], fmt, hi - lo,
+                    chunk_index=first_chunk + c)
+            except (CorruptChunkError, TruncatedContainerError):
+                out[lo:hi] = fill_byte
+                good = False
+        if good:
+            report.recovered.append(first_chunk + c)
+        else:
+            report.lost.append(first_chunk + c)
+            report.lost_ranges.append((lo, hi))
+    return out.tobytes(), tokens, report
 
 
 def decode_chunked(payload, fmt: TokenFormat, chunk_sizes: np.ndarray,

@@ -36,13 +36,20 @@ Two transport fast paths keep the pool workers fed:
 from __future__ import annotations
 
 import asyncio
-from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor
 from time import perf_counter
 from typing import AsyncIterator, Awaitable, Callable, Iterable
 
+from repro.errors import WorkerCrashError
 from repro.service.metrics import Metrics
 from repro.service.protocol import FLAG_RAW, FRAME_HEADER_SIZE, Frame
 from repro.util.validation import require_range
+
+#: Failures that mean the pool worker died rather than the job failing:
+#: ``BrokenExecutor`` covers ``BrokenProcessPool`` (a worker killed
+#: mid-frame poisons the whole pool) and the fault-injection harness
+#: raises ``WorkerCrashError``.  Both are survivable per frame.
+_CRASH_ERRORS = (BrokenExecutor, WorkerCrashError)
 
 __all__ = [
     "EgressPipeline",
@@ -124,12 +131,41 @@ class _PooledStage:
         self.use_shm = False  # resolved by the subclass constructors
         self._slab_pool = None
         self._shm_failed = False
+        self._pool_rebuilt = False
+        self._pool_dead = False
 
     def _pool(self) -> Executor | None:
         """The fan-out executor; ``None`` means the loop's default pool."""
-        if self._executor is None and self._owns_executor and self.workers:
+        if (self._executor is None and self._owns_executor and self.workers
+                and not self._pool_dead):
             self._executor = ProcessPoolExecutor(max_workers=self.workers)
         return self._executor
+
+    def _crashed(self, stage: str) -> None:
+        """A worker died: count it and rebuild the pool (at most once).
+
+        A ``BrokenProcessPool`` poisons every pending future, so the
+        crash retires the executor; frames already submitted to it fail
+        over to the serial path one by one while new frames go to the
+        replacement :meth:`_pool` builds.  A *second* crash marks the
+        pool dead instead of churning replacements — every remaining
+        frame runs serially.  Injected executors are never rebuilt (the
+        caller owns them); their frames just fall back serially.
+        """
+        self.metrics.inc(f"{stage}.worker_crashes")
+        if not self._owns_executor or self._executor is None:
+            return
+        broken, self._executor = self._executor, None
+        try:
+            # No cancel_futures: a broken pool has already failed its
+            # pending futures, and cancelling would turn the in-flight
+            # ones the drain stage still awaits into CancelledError.
+            broken.shutdown(wait=False)
+        except Exception:
+            pass
+        if self._pool_rebuilt:
+            self._pool_dead = True
+        self._pool_rebuilt = True
 
     def _slabs(self):
         """The slab pool, or ``None`` when the pickle path applies.
@@ -200,9 +236,43 @@ class IngressPipeline(_PooledStage):
         from repro.lzss.matcher import probe_incompressible
 
         loop = asyncio.get_running_loop()
-        pool = self._pool()
+        self._pool()  # build eagerly so the first frame pays no setup
         jobs: asyncio.Queue = asyncio.Queue(maxsize=self.queue_depth)
         m = self.metrics
+
+        def dispatch(data: bytes):
+            """Submit one frame to the pool; returns ``(future, lease)``.
+
+            A broken pool at submit time counts a crash, retries once on
+            the rebuilt pool, then degrades this frame to the loop's
+            default thread pool (``ingress.serial_fallbacks``).
+            """
+            slabs = self._slabs()
+            lease = slabs.acquire(len(data)) if slabs is not None else None
+            try:
+                if lease is not None:
+                    n = lease.write(data)
+                    fut = loop.run_in_executor(
+                        self._pool(), encode_frame_job, lease.name, n,
+                        self.version)
+                    m.inc("ingress.shm_frames")
+                    return fut, lease
+                if slabs is not None:
+                    m.inc("ingress.shm_fallbacks")
+                return loop.run_in_executor(self._pool(), self._job, data,
+                                            self.version), None
+            except _CRASH_ERRORS:
+                if lease is not None:
+                    lease.release()
+                self._crashed("ingress")
+            try:
+                return loop.run_in_executor(self._pool(), self._job, data,
+                                            self.version), None
+            except _CRASH_ERRORS:
+                self._crashed("ingress")
+                m.inc("ingress.serial_fallbacks")
+                return loop.run_in_executor(None, self._job, data,
+                                            self.version), None
 
         async def submit() -> int:
             seq = 0
@@ -216,22 +286,9 @@ class IngressPipeline(_PooledStage):
                     fut.set_result((FLAG_RAW, data))
                     m.inc("ingress.probe_raw_frames")
                 else:
-                    slabs = self._slabs()
-                    lease = (slabs.acquire(len(data))
-                             if slabs is not None else None)
-                    if lease is not None:
-                        n = lease.write(data)
-                        fut = loop.run_in_executor(
-                            pool, encode_frame_job, lease.name, n,
-                            self.version)
-                        m.inc("ingress.shm_frames")
-                    else:
-                        if slabs is not None:
-                            m.inc("ingress.shm_fallbacks")
-                        fut = loop.run_in_executor(pool, self._job, data,
-                                                   self.version)
+                    fut, lease = dispatch(data)
                 enq = perf_counter()
-                await jobs.put((seq, len(data), enq, fut, lease))
+                await jobs.put((seq, data, enq, fut, lease))
                 m.gauge("ingress.queue_depth", jobs.qsize())
                 seq += 1
             await jobs.put(None)
@@ -239,10 +296,22 @@ class IngressPipeline(_PooledStage):
 
         async def drain() -> None:
             while (item := await jobs.get()) is not None:
-                seq, n_in, enq, fut, lease = item
+                seq, data, enq, fut, lease = item
+                n_in = len(data)
                 res = None
                 try:
-                    flags, res = await fut
+                    try:
+                        flags, res = await fut
+                    except _CRASH_ERRORS:
+                        # The worker died holding this frame; the input
+                        # is still in hand, so re-run it serially.
+                        if lease is not None:
+                            lease.release()
+                            lease = None
+                        self._crashed("ingress")
+                        m.inc("ingress.serial_fallbacks")
+                        flags, res = await loop.run_in_executor(
+                            None, self._job, data, self.version)
                 finally:
                     if lease is not None and res is None:
                         lease.release()
@@ -313,28 +382,50 @@ class EgressPipeline(_PooledStage):
         from repro.engine.shm import decode_frame_job
 
         loop = asyncio.get_running_loop()
-        pool = self._pool()
+        self._pool()  # build eagerly so the first frame pays no setup
         jobs: asyncio.Queue = asyncio.Queue(maxsize=self.queue_depth)
         m = self.metrics
+
+        def dispatch(frame: Frame):
+            """Submit one frame to the pool; returns ``(future, lease)``.
+
+            Mirrors the ingress dispatch: a broken pool at submit time
+            counts a crash, retries once on the rebuilt pool, then
+            degrades this frame to the loop's default thread pool.
+            """
+            slabs = self._slabs()
+            lease = (slabs.acquire(len(frame.payload))
+                     if slabs is not None else None)
+            try:
+                if lease is not None:
+                    n = lease.write(frame.payload)
+                    fut = loop.run_in_executor(self._pool(), decode_frame_job,
+                                               lease.name, n, frame.flags)
+                    m.inc("egress.shm_frames")
+                    return fut, lease
+                if slabs is not None:
+                    m.inc("egress.shm_fallbacks")
+                return loop.run_in_executor(self._pool(), self._job,
+                                            frame.flags, frame.payload), None
+            except _CRASH_ERRORS:
+                if lease is not None:
+                    lease.release()
+                self._crashed("egress")
+            try:
+                return loop.run_in_executor(self._pool(), self._job,
+                                            frame.flags, frame.payload), None
+            except _CRASH_ERRORS:
+                self._crashed("egress")
+                m.inc("egress.serial_fallbacks")
+                return loop.run_in_executor(None, self._job, frame.flags,
+                                            frame.payload), None
 
         async def submit() -> None:
             async for frame in _aiter(frames):
                 if frame.is_end:
                     await jobs.put((frame, None, None, None))
                     continue
-                slabs = self._slabs()
-                lease = (slabs.acquire(len(frame.payload))
-                         if slabs is not None else None)
-                if lease is not None:
-                    n = lease.write(frame.payload)
-                    fut = loop.run_in_executor(pool, decode_frame_job,
-                                               lease.name, n, frame.flags)
-                    m.inc("egress.shm_frames")
-                else:
-                    if slabs is not None:
-                        m.inc("egress.shm_fallbacks")
-                    fut = loop.run_in_executor(pool, self._job, frame.flags,
-                                               frame.payload)
+                fut, lease = dispatch(frame)
                 await jobs.put((frame, perf_counter(), fut, lease))
                 m.gauge("egress.queue_depth", jobs.qsize())
             await jobs.put(None)
@@ -352,7 +443,18 @@ class EgressPipeline(_PooledStage):
                     continue
                 res = None
                 try:
-                    res = await fut
+                    try:
+                        res = await fut
+                    except _CRASH_ERRORS:
+                        # The worker died holding this frame; the frame
+                        # bytes are still in hand, so re-run serially.
+                        if lease is not None:
+                            lease.release()
+                            lease = None
+                        self._crashed("egress")
+                        m.inc("egress.serial_fallbacks")
+                        res = await loop.run_in_executor(
+                            None, self._job, frame.flags, frame.payload)
                 finally:
                     if lease is not None and res is None:
                         lease.release()

@@ -40,6 +40,7 @@ import asyncio
 import struct
 from dataclasses import dataclass
 
+from repro.errors import FrameError
 from repro.util.checksum import crc32
 
 __all__ = [
@@ -76,9 +77,8 @@ _KNOWN_FLAGS = FLAG_RAW | FLAG_END | FLAG_ACK
 MAX_PAYLOAD = 1 << 30
 
 
-class FrameError(ValueError):
-    """A malformed, corrupted, or truncated frame."""
-
+# FrameError lives in :mod:`repro.errors` (the shared taxonomy) and is
+# re-exported here for compatibility with pre-taxonomy imports.
 
 @dataclass(frozen=True)
 class Frame:

@@ -5,6 +5,12 @@ versions, so the exact bytes of small containers are frozen here.  If
 one of these fails, the wire format changed: either revert, or bump
 the container version and add migration handling — never just update
 the constant.
+
+Container v2 (per-chunk CRC table) did exactly that: the default write
+format moved to version 2, so the v2-era bytes are frozen below and
+the v1-era constants stay as what they always really were — the
+decode-compatibility promise, plus a regression test that
+``pack_container(..., version=1)`` still reproduces them bit-for-bit.
 """
 
 from repro.container import pack_container
@@ -16,15 +22,30 @@ from repro.lzss.formats import CUDA_V2
 
 PAYLOAD = b"golden golden golden stream! " * 4
 
-SERIAL_GOLDEN = (
+# --- container version 1 (legacy; reader + version-gated writer) -------
+
+SERIAL_GOLDEN_V1 = (
     "434c5a5301010000740000000000000000000000000000007578c389c59844ff"
     "b3dbed964b2dba40006bb9dd2e565b0db642015c00e78073c039e01cf900"
 )
 
-V2_GOLDEN = (
+V2_GOLDEN_V1 = (
     "434c5a530103010074000000000000004000000002000000d07cff9aabe64dfd"
     "1700000017000000b3dbed964b2dba40060bb9dd2e565b0db642150c0e090090"
     "59edf6cb2596dc0605b9dd2e565b0db642150c0e0600"
+)
+
+# --- container version 2 (default write format) ------------------------
+
+SERIAL_GOLDEN = (
+    "434c5a5302010000740000000000000000000000000000007578c389ed315aa7"
+    "b3dbed964b2dba40006bb9dd2e565b0db642015c00e78073c039e01cf900"
+)
+
+V2_GOLDEN = (
+    "434c5a530203010074000000000000004000000002000000d07cff9a834f53a5"
+    "17000000170000004f23423ca20bfb61b3dbed964b2dba40060bb9dd2e565b0d"
+    "b642150c0e09009059edf6cb2596dc0605b9dd2e565b0db642150c0e0600"
 )
 
 
@@ -38,11 +59,21 @@ def test_v2_container_bytes_frozen():
     assert blob.hex() == V2_GOLDEN
 
 
+def test_version_gated_writer_reproduces_v1_bytes():
+    # The migration promise in the other direction: version-gated
+    # writing still emits yesterday's format bit-for-bit.
+    blob = pack_container(encode_chunked(PAYLOAD, CUDA_V2, 64), version=1)
+    assert blob.hex() == V2_GOLDEN_V1
+
+
 def test_frozen_blobs_still_decode():
-    # Decoding yesterday's archives is the actual promise.
-    assert SerialLzss().decompress_container(
-        bytes.fromhex(SERIAL_GOLDEN)) == PAYLOAD
-    assert gpu_decompress(bytes.fromhex(V2_GOLDEN)).data == PAYLOAD
+    # Decoding yesterday's archives is the actual promise — both
+    # container versions, forever.
+    for serial_hex in (SERIAL_GOLDEN_V1, SERIAL_GOLDEN):
+        assert SerialLzss().decompress_container(
+            bytes.fromhex(serial_hex)) == PAYLOAD
+    for v2_hex in (V2_GOLDEN_V1, V2_GOLDEN):
+        assert gpu_decompress(bytes.fromhex(v2_hex)).data == PAYLOAD
 
 
 def test_api_blob_round_trips():

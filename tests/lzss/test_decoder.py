@@ -5,7 +5,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.lzss.decoder import decode, decode_chunked, decode_chunked_with_stats
+from repro.errors import CorruptChunkError
+from repro.lzss.decoder import (
+    SalvageReport,
+    decode,
+    decode_chunked,
+    decode_chunked_with_stats,
+    salvage_decode_chunked,
+)
 from repro.lzss.encoder import encode, encode_chunked
 from repro.lzss.formats import CUDA_V2, SERIAL
 from repro.lzss.reference import reference_encode
@@ -63,6 +70,38 @@ class TestCorruption:
         with pytest.raises(ValueError):
             decode(b"", SERIAL, 4)
 
+    def test_errors_are_typed_and_located(self):
+        # Every decode-corruption error is a CorruptChunkError (a
+        # ValueError subclass, so older call sites keep working) and
+        # names the chunk plus the offending token position.
+        from repro.util.bitio import BitWriter
+
+        w = BitWriter()
+        w.write_bit(1)
+        w.write_bits(65, 8)  # literal 'A'
+        w.write_bit(0)
+        w.write_bits((199 << 8) | 0, 16)  # distance 200 > window 128
+        with pytest.raises(CorruptChunkError) as err:
+            decode(w.getvalue(), CUDA_V2, 4)
+        exc = err.value
+        assert isinstance(exc, ValueError)
+        assert exc.chunk_index == 0
+        assert exc.token_position == 1  # the pair after the literal
+        assert "chunk 0" in str(exc)
+
+    def test_chunked_error_names_failing_chunk(self, text_data):
+        data = text_data[:4000]
+        r = encode_chunked(data, CUDA_V2, 512)
+        # Zero out chunk 4's stream: its token walk cannot land on the
+        # declared output size.
+        offsets = np.concatenate([[0], np.cumsum(r.chunk_sizes)])
+        payload = bytearray(r.payload)
+        payload[offsets[4]:offsets[5]] = bytes(int(offsets[5] - offsets[4]))
+        with pytest.raises(CorruptChunkError) as err:
+            decode_chunked(bytes(payload), CUDA_V2, r.chunk_sizes, 512,
+                           len(data))
+        assert err.value.chunk_index == 4
+
     def test_bit_flip_usually_detected_or_wrong(self, text_data):
         # A flipped flag bit either errors out or mis-decodes; it must
         # never crash with a non-ValueError.
@@ -106,3 +145,31 @@ class TestChunked:
                                                 np.array([], dtype=np.int64),
                                                 512, 0)
         assert out == b"" and tokens.size == 0
+
+
+class TestSalvage:
+    def test_decode_failure_detection_without_crcs(self, text_data):
+        # v1 containers have no per-chunk CRCs; salvage still catches
+        # chunks whose token stream fails to decode.
+        data = text_data[:4000]
+        r = encode_chunked(data, CUDA_V2, 512)
+        offsets = np.concatenate([[0], np.cumsum(r.chunk_sizes)])
+        payload = bytearray(r.payload)
+        payload[offsets[4]:offsets[5]] = bytes(int(offsets[5] - offsets[4]))
+        out, tokens, report = salvage_decode_chunked(
+            bytes(payload), CUDA_V2, r.chunk_sizes, 512, len(data))
+        assert report.lost == [4]
+        assert tokens[4] == 0
+        assert out[:4 * 512] == data[:4 * 512]
+        assert out[5 * 512:] == data[5 * 512:]
+        assert out[4 * 512:5 * 512] == b"\x00" * 512
+
+    def test_report_describe(self):
+        clean = SalvageReport(n_chunks=3, recovered=[0, 1, 2])
+        assert clean.complete
+        assert "all 3 chunks" in clean.describe()
+        hurt = SalvageReport(n_chunks=3, recovered=[0, 2], lost=[1],
+                             lost_ranges=[(512, 1024)])
+        assert not hurt.complete
+        assert hurt.lost_bytes == 512
+        assert "[1]" in hurt.describe()

@@ -50,6 +50,58 @@ def test_decompress_rejects_garbage(tmp_path, capsys):
     assert main(["decompress", str(bad), str(tmp_path / "o")]) == 2
 
 
+def test_info_reports_container_version(sample_file, tmp_path, capsys):
+    comp = tmp_path / "x.cz"
+    main(["compress", str(sample_file), str(comp)])
+    assert main(["info", str(comp)]) == 0
+    out = capsys.readouterr().out
+    assert "container version: 2" in out
+    assert "per-chunk CRCs: yes" in out
+
+
+def test_decompress_strict_fails_on_corruption_with_hint(sample_file,
+                                                         tmp_path, capsys):
+    from repro.testing import corrupt_chunks
+
+    comp = tmp_path / "x.cz"
+    main(["compress", str(sample_file), str(comp)])
+    comp.write_bytes(corrupt_chunks(comp.read_bytes(), [1], seed=11))
+    assert main(["decompress", str(comp), str(tmp_path / "o")]) == 2
+    err = capsys.readouterr().err
+    assert "chunk 1" in err
+    assert "--salvage" in err
+
+
+def test_decompress_salvage_recovers_partial(sample_file, tmp_path, capsys):
+    from repro.testing import corrupt_chunks
+
+    original = sample_file.read_bytes()
+    comp = tmp_path / "x.cz"
+    restored = tmp_path / "restored.bin"
+    main(["compress", str(sample_file), str(comp)])
+    comp.write_bytes(corrupt_chunks(comp.read_bytes(), [1], seed=11))
+    # partial loss is exit 1 — recovered bytes written, damage reported
+    assert main(["decompress", str(comp), str(restored),
+                 "--salvage", "--fill-byte", "170"]) == 1
+    out = capsys.readouterr().out
+    assert "lost chunks [1]" in out
+    data = restored.read_bytes()
+    assert len(data) == len(original)
+    assert data[:4096] == original[:4096]
+    assert data[4096:8192] == b"\xaa" * 4096
+    assert data[8192:] == original[8192:]
+
+
+def test_decompress_salvage_clean_blob_is_exit_zero(sample_file, tmp_path,
+                                                    capsys):
+    comp = tmp_path / "x.cz"
+    restored = tmp_path / "restored.bin"
+    main(["compress", str(sample_file), str(comp)])
+    assert main(["decompress", str(comp), str(restored), "--salvage"]) == 0
+    assert restored.read_bytes() == sample_file.read_bytes()
+    assert "recovered" in capsys.readouterr().out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
