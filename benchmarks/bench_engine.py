@@ -205,6 +205,11 @@ def main(argv: list[str] | None = None) -> int:
                              "(default cfiles,demap; quick cfiles)")
     parser.add_argument("--output", default=str(JSON_PATH),
                         help="machine-readable output path")
+    parser.add_argument("--trace", nargs="?", const="BENCH_engine.trace.json",
+                        default=None, metavar="FILE",
+                        help="capture repro.obs spans during the engine "
+                             "sweep and write a chrome-trace JSON "
+                             "(default FILE: BENCH_engine.trace.json)")
     args = parser.parse_args(argv)
 
     size_mb = args.size_mb or (0.25 if args.quick else 8.0)
@@ -227,9 +232,22 @@ def main(argv: list[str] | None = None) -> int:
             "datasets": datasets,
             "chunk_size": CHUNK_SIZE,
         },
-        "engine": bench_engine(datasets, size_bytes, workers),
-        "transport": bench_transport(frame_bytes, frames),
+        "engine": None,
+        "transport": None,
     }
+    if args.trace:
+        from repro import obs
+        from repro.obs import trace as obs_trace
+
+        obs_trace.clear()
+        with obs_trace.span("bench.engine_sweep", trace_id=obs.new_trace_id(),
+                            quick=args.quick):
+            payload["engine"] = bench_engine(datasets, size_bytes, workers)
+        trace_path = obs.write_chrome_trace(args.trace, obs_trace.spans())
+        print(f"wrote {trace_path} ({len(obs_trace.spans())} spans)")
+    else:
+        payload["engine"] = bench_engine(datasets, size_bytes, workers)
+    payload["transport"] = bench_transport(frame_bytes, frames)
 
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     text = render(payload)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Observability tour — metrics, spans, and exporters end to end.
+
+Walks the :mod:`repro.obs` subsystem through one traced workload:
+
+1. compress + decompress a buffer under a trace id, with the engine
+   sharding across two workers so spans nest three layers deep
+   (gateway frame -> engine shard -> encoder stage);
+2. print the metric registry the run filled in — matcher probe
+   counters, per-stage encode timings, container CRC events, engine
+   shard stats — in the pretty table format;
+3. export the same snapshot as Prometheus text (what ``culzss serve
+   --metrics-port`` scrapes) and write the span log as a chrome-trace
+   JSON loadable in chrome://tracing or https://ui.perfetto.dev;
+4. demonstrate the worker-delta flow: what a pool worker ships home
+   and how the parent folds it in.
+
+Run:  python examples/observability.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import obs
+from repro.datasets import generate
+from repro.obs import trace
+from repro.service.pipeline import decode_payload, encode_payload
+
+SIZE = 768 * 1024  # past the engine's 128 KiB parallel threshold
+
+
+def main() -> None:
+    obs.reset()  # a clean registry so the printout is this run only
+
+    # -- 1. one traced round trip ------------------------------------
+    data = generate("cfiles", SIZE, seed=42)
+    tid = trace.new_trace_id()
+    flags, payload = encode_payload(data, version=2, workers=2,
+                                    trace_id=tid)
+    out = decode_payload(flags, payload, workers=2, trace_id=tid)
+    assert out == data
+    print(f"round trip: {len(data)} -> {len(payload)} bytes "
+          f"(ratio {len(payload) / len(data):.4f}) under trace {tid:#x}\n")
+
+    # -- 2. the registry the instrumented stack filled in ------------
+    snapshot = obs.get_registry().snapshot()
+    print(obs.format_pretty(snapshot))
+
+    # -- 3. exporters ------------------------------------------------
+    prom = obs.prometheus_text(snapshot)
+    print("\nPrometheus exposition (first lines):")
+    for line in prom.splitlines()[:6]:
+        print(f"  {line}")
+    print(f"  ... {len(prom.splitlines())} lines total")
+
+    spans = trace.spans()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = obs.write_chrome_trace(Path(tmp) / "roundtrip.trace.json",
+                                      spans)
+        print(f"\nchrome trace: {len(spans)} spans, "
+              f"{path.stat().st_size} bytes "
+              f"(load in chrome://tracing or ui.perfetto.dev)")
+    depth = {s.span_id: s for s in spans}
+
+    def layers(s) -> int:
+        n = 1
+        while s.parent_id in depth:
+            s, n = depth[s.parent_id], n + 1
+        return n
+
+    print(f"deepest nesting: {max(map(layers, spans))} layers "
+          f"({', '.join(sorted({s.name for s in spans}))})")
+
+    # -- 4. the cross-process delta flow -----------------------------
+    # A pool worker ends its job with obs.delta() — metric diffs plus
+    # its drained span ring — and ships the dict home pickled; the
+    # parent folds it in.  Same-process deltas are recognised by pid
+    # and skipped, so routing every executor through this path is safe.
+    delta = obs.delta()
+    print(f"\nworker delta: {sum(delta['metrics']['counters'].values())} "
+          f"counter increments, {len(delta['spans'])} spans")
+    obs.merge_delta(delta)  # same pid: counters no-op, spans restored
+    assert len(trace.spans()) == len(delta["spans"])
+    print("merged back: same-pid counters skipped, span ring restored")
+
+
+if __name__ == "__main__":
+    main()

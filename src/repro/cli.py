@@ -12,8 +12,11 @@ Usage::
     culzss info       INPUT
     culzss bench      [--size-mb N] [--datasets a,b,...]
     culzss report     [--size-mb N] [--output FILE]
-    culzss serve      [--host H] [--port P] [--output-dir DIR] ...
+    culzss serve      [--host H] [--port P] [--output-dir DIR]
+                      [--metrics-port P] ...
     culzss send       [INPUT ...] [--dataset KIND --count N] ...
+    culzss stats      [INPUT] [--format {pretty,json,prom}] ...
+    culzss trace      INPUT [--output FILE] [--workers N] ...
 
 ``serve``/``send`` run the streaming gateway pair (`repro.service`):
 ``serve`` is the egress gateway (decompress + deliver), ``send`` the
@@ -21,6 +24,14 @@ ingress gateway (compress + ship); both print a metrics snapshot on
 exit.  With process fan-out (``--workers``) frames travel through
 shared-memory slabs by default; ``--no-shm`` forces the pickle
 transport.
+
+``stats``/``trace`` surface the :mod:`repro.obs` observability layer:
+``stats`` runs a compress/decompress round trip and prints the metric
+registry (matcher probes, encoder stage timings, container CRC events,
+engine shard stats) as a table, JSON, or Prometheus text; ``trace``
+compresses a file with span capture on and writes a chrome-trace JSON
+loadable in ``chrome://tracing`` / Perfetto.  ``serve
+--metrics-port P`` additionally exposes a live ``/metrics`` scrape.
 
 ``--system`` selects any of the five evaluated systems (culzss-v1,
 culzss-v2, serial, pthread, bzip2); CULZSS/serial outputs are
@@ -211,9 +222,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                queue_depth=args.queue_depth,
                                timeout=args.timeout, metrics=metrics,
                                use_shm=False if args.no_shm else None,
+                               metrics_port=args.metrics_port,
                                deliver=deliver)
         await server.start()
         print(f"listening on {server.host}:{server.port}", flush=True)
+        if server.metrics_port is not None:
+            print(f"metrics on http://{server.host}:{server.metrics_port}"
+                  f"/metrics", flush=True)
         try:
             if args.max_conns:
                 await server.wait_connections(args.max_conns)
@@ -271,6 +286,71 @@ def _cmd_send(args: argparse.Namespace) -> int:
           f"CRC verified")
     if args.metrics:
         _print_metrics(metrics)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    if not obs.enabled():
+        print("observability is disabled (REPRO_OBS=0); nothing to record",
+              file=sys.stderr)
+        return 2
+    if args.input:
+        data = Path(args.input).read_bytes()
+    else:
+        from repro.datasets import generate
+
+        data = generate(args.dataset, args.size)
+    from repro.core import CompressionParams, gpu_compress, gpu_decompress
+
+    buf = gpu_compress(data, CompressionParams(version=args.version),
+                       workers=args.workers)
+    res = gpu_decompress(buf.data, workers=args.workers)
+    if res.data != data:  # pragma: no cover - codec invariant
+        print("round trip mismatch", file=sys.stderr)
+        return 2
+    snap = obs.get_registry().snapshot()
+    if args.format == "json":
+        print(obs.json_text(snap))
+    elif args.format == "prom":
+        print(obs.prometheus_text(snap), end="")
+    else:
+        print(obs.format_pretty(snap))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.obs import trace
+    from repro.service.pipeline import decode_payload, encode_payload
+
+    if not obs.enabled():
+        print("observability is disabled (REPRO_OBS=0); nothing to trace",
+              file=sys.stderr)
+        return 2
+    data = Path(args.input).read_bytes()
+    from repro.engine.parallel import MIN_PARALLEL_BYTES
+
+    if args.workers > 1 and len(data) < MIN_PARALLEL_BYTES:
+        print(f"note: {len(data)}-byte input is below the "
+              f"{MIN_PARALLEL_BYTES}-byte parallel threshold; the trace "
+              f"will show the serial path (no engine.shard spans)",
+              file=sys.stderr)
+    tid = trace.new_trace_id()
+    flags, payload = encode_payload(data, args.version,
+                                    workers=args.workers, trace_id=tid)
+    if not args.no_decode:
+        decode_payload(flags, payload, workers=args.workers, trace_id=tid)
+    spans = trace.spans()
+    out = Path(args.output or args.input + ".trace.json")
+    obs.write_chrome_trace(out, spans)
+    by_name: dict[str, int] = {}
+    for s in spans:
+        by_name[s.name] = by_name.get(s.name, 0) + 1
+    print(f"wrote {out}: {len(spans)} spans over trace {tid:#x}")
+    for name in sorted(by_name):
+        print(f"  {by_name[name]:6d}  {name}")
     return 0
 
 
@@ -337,6 +417,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-shm", action="store_true",
                    help="disable the shared-memory frame transport "
                         "(pickle frames through the pool pipe instead)")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="serve Prometheus /metrics (and /metrics.json) on "
+                        "this sidecar port (0 picks a free one)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("send", help="send buffers through an ingress gateway")
@@ -366,6 +449,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the shared-memory frame transport "
                         "(pickle frames through the pool pipe instead)")
     p.set_defaults(func=_cmd_send)
+
+    p = sub.add_parser("stats",
+                       help="run a round trip and print the obs registry")
+    p.add_argument("input", nargs="?", default=None,
+                   help="file to round-trip (default: generated dataset)")
+    p.add_argument("--format", choices=("pretty", "json", "prom"),
+                   default="pretty", help="output format")
+    p.add_argument("--version", type=int, choices=(1, 2), default=2,
+                   help="CULZSS version (the API's version parameter)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="shard the codec across N cores")
+    p.add_argument("--dataset", default="cfiles",
+                   help="dataset kind when no input file is given")
+    p.add_argument("--size", type=int, default=1 << 20,
+                   help="generated buffer size in bytes (default 1 MiB)")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("trace",
+                       help="compress a file and write a chrome-trace JSON")
+    p.add_argument("input", help="file to compress under span capture")
+    p.add_argument("--output", default=None,
+                   help="trace file path (default: INPUT.trace.json)")
+    p.add_argument("--version", type=int, choices=(1, 2), default=2,
+                   help="CULZSS version (the API's version parameter)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="engine shard width (>1 shows engine.shard spans "
+                        "for inputs past the parallel threshold)")
+    p.add_argument("--no-decode", action="store_true",
+                   help="trace the compress half only")
+    p.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import (
     CorruptChunkError,
     CorruptHeaderError,
@@ -165,10 +166,17 @@ def verify_chunks(info: ContainerInfo) -> np.ndarray:
     ok = ranges[:, 1] <= len(info.payload)
     if info.chunk_crcs is None:
         return ok
+    checks = failures = 0
     for c in np.nonzero(ok)[0]:
         lo, hi = int(ranges[c, 0]), int(ranges[c, 1])
+        checks += 1
         if crc32(info.payload[lo:hi]) != int(info.chunk_crcs[c]):
             ok[c] = False
+            failures += 1
+    if checks:
+        obs.inc("container.crc_checks", checks)
+    if failures:
+        obs.inc("container.crc_failures", failures)
     return ok
 
 
@@ -256,5 +264,9 @@ def unpack_container(blob: bytes, *, strict: bool = True) -> ContainerInfo:
                 chunk_index=first,
                 offset=int(info.chunk_ranges()[first, 0]))
     elif crc32(payload) != payload_crc:
+        obs.inc("container.crc_checks")
+        obs.inc("container.crc_failures")
         raise CorruptPayloadError("payload checksum mismatch")
+    else:
+        obs.inc("container.crc_checks")
     return info

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.container import pack_container, unpack_container
 from repro.core.decompress import GpuDecompressor
 from repro.core.library import get_library
@@ -131,7 +132,8 @@ def gpu_compress(buffer, params: CompressionParams | None = None,
     cal = calibration or default_calibration()
     data = as_bytes(buffer)
     compressor = _compressor_for(params, _engine_for(workers, engine))
-    result = compressor.compress(data)
+    with obs.stage("api.compress", size=len(data), version=params.version):
+        result = compressor.compress(data)
     if result.input_size == 0:
         return CompressedBuffer(data=pack_container(result), result=result,
                                 profile=GpuProfile())
@@ -177,19 +179,20 @@ def gpu_decompress(blob, params: CompressionParams | None = None,
         window=min(params.window, info.chunk_size))
     engine = _engine_for(workers, engine)
     report = None
-    if errors == "salvage":
-        salvage = (engine.salvage_decode_chunked if engine is not None
-                   else salvage_decode_chunked)
-        out, per_chunk_tokens, report = salvage(
-            info.payload, info.format, info.chunk_sizes, info.chunk_size,
-            info.original_size, chunk_crcs=info.chunk_crcs,
-            fill_byte=fill_byte)
-    else:
-        decode = (engine.decode_chunked_with_stats if engine is not None
-                  else decode_chunked_with_stats)
-        out, per_chunk_tokens = decode(
-            info.payload, info.format, info.chunk_sizes, info.chunk_size,
-            info.original_size)
+    with obs.stage("api.decompress", size=info.original_size, errors=errors):
+        if errors == "salvage":
+            salvage = (engine.salvage_decode_chunked if engine is not None
+                       else salvage_decode_chunked)
+            out, per_chunk_tokens, report = salvage(
+                info.payload, info.format, info.chunk_sizes, info.chunk_size,
+                info.original_size, chunk_crcs=info.chunk_crcs,
+                fill_byte=fill_byte)
+        else:
+            decode = (engine.decode_chunked_with_stats if engine is not None
+                      else decode_chunked_with_stats)
+            out, per_chunk_tokens = decode(
+                info.payload, info.format, info.chunk_sizes, info.chunk_size,
+                info.original_size)
     if info.original_size == 0:
         return DecompressResult(data=out, profile=GpuProfile(),
                                 salvage=report)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.lzss.formats import TokenFormat
 from repro.lzss.parse import greedy_token_starts
 from repro.util.validation import require
@@ -54,11 +55,12 @@ def fixup_matches(best_len: np.ndarray, best_dist: np.ndarray,
     best_len = np.asarray(best_len)
     best_dist = np.asarray(best_dist)
     require(best_len.shape == best_dist.shape, "match array shape mismatch")
-    advance = np.where(best_len >= fmt.min_match, best_len, 1).astype(np.int64)
-    starts = greedy_token_starts(advance, chunk_size)
-    lengths = best_len[starts].astype(np.int64)
-    distances = best_dist[starts].astype(np.int64)
-    is_pair = lengths >= fmt.min_match
+    with obs.stage("encode.fixup", positions=int(best_len.size)):
+        advance = np.where(best_len >= fmt.min_match, best_len, 1).astype(np.int64)
+        starts = greedy_token_starts(advance, chunk_size)
+        lengths = best_len[starts].astype(np.int64)
+        distances = best_dist[starts].astype(np.int64)
+        is_pair = lengths >= fmt.min_match
     return FixupResult(
         starts=starts,
         is_pair=is_pair,

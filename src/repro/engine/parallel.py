@@ -32,10 +32,13 @@ import os
 import threading
 from collections import defaultdict
 from concurrent.futures import BrokenExecutor, Executor, ThreadPoolExecutor
+from time import perf_counter
 
 import numpy as np
 
+from repro import obs
 from repro.errors import WorkerCrashError
+from repro.obs import trace
 from repro.lzss.decoder import (
     SalvageReport,
     decode_chunked_with_stats as _decode_serial,
@@ -204,6 +207,7 @@ class ParallelEngine:
         path without touching the replacement.
         """
         self.counters["worker_crashes"] += 1
+        obs.inc("engine.worker_crashes")
         with self._lock:
             if self._pool is broken:
                 self._pool = None
@@ -220,15 +224,38 @@ class ParallelEngine:
         (``serial_fallbacks``); shards are independent so the merged
         result is unchanged.
         """
+        instrumented = obs.enabled()
+        if instrumented:
+            obs.inc("engine.shards", len(calls))
+            # Contextvars do not cross thread-pool boundaries on their
+            # own: capture the submitter's span context once and attach
+            # it inside every worker, so shard spans parent correctly.
+            ctx = trace.current()
+            submit_t = perf_counter()
+
+            def _instrument(fn, args, kwargs, idx):
+                def run():
+                    with trace.attach(ctx):
+                        obs.observe("engine.queue_wait_seconds",
+                                    perf_counter() - submit_t)
+                        with obs.stage("engine.shard", shard=idx):
+                            return fn(*args, **kwargs)
+                return run
+
+            submits = [(_instrument(fn, args, kwargs, i), (), {})
+                       for i, (fn, args, kwargs) in enumerate(calls)]
+        else:
+            submits = calls
+
         futures = []
-        for fn, args, kwargs in calls:
+        for fn, args, kwargs in submits:
             try:
                 futures.append(pool.submit(fn, *args, **kwargs))
             except _CRASH_ERRORS:
                 futures.append(None)
         results = []
         crashed = False
-        for (fn, args, kwargs), fut in zip(calls, futures):
+        for i, ((fn, args, kwargs), fut) in enumerate(zip(calls, futures)):
             res = None
             if fut is not None:
                 try:
@@ -240,7 +267,9 @@ class ParallelEngine:
                     crashed = True
                     self._note_crash(pool)
                 self.counters["serial_fallbacks"] += 1
-                res = fn(*args, **kwargs)
+                obs.inc("engine.serial_fallbacks")
+                with obs.stage("engine.shard", shard=i, fallback=True):
+                    res = fn(*args, **kwargs)
             results.append(res)
         return results
 

@@ -32,7 +32,9 @@ __all__ = [
     "SlabLease",
     "SlabPool",
     "decode_frame_job",
+    "decode_frame_job_obs",
     "encode_frame_job",
+    "encode_frame_job_obs",
     "shm_available",
 ]
 
@@ -256,3 +258,39 @@ def decode_frame_job(slab_name: str, length: int,
         return data
     shm.buf[:len(data)] = data
     return len(data)
+
+
+# Observability-carrying variants.  The plain jobs above keep their
+# historical signatures (tests and custom executors call them
+# directly); the pipeline submits these when obs is enabled, so each
+# job ships the worker process's metric/span delta home with its
+# result and spans join the frame's trace id from the wire.
+
+def encode_frame_job_obs(slab_name: str, length: int, version: int,
+                         trace_id: int = 0) -> tuple[int, int | bytes, dict]:
+    """:func:`encode_frame_job` + ``(…, obs delta)`` under ``trace_id``."""
+    from repro import obs
+    from repro.service.pipeline import encode_payload
+
+    shm = _attach(slab_name)
+    data = bytes(shm.buf[:length])
+    flags, payload = encode_payload(data, version, trace_id=trace_id)
+    if len(payload) > shm.size:  # pragma: no cover - guarded by raw path
+        return flags, payload, obs.delta()
+    shm.buf[:len(payload)] = payload
+    return flags, len(payload), obs.delta()
+
+
+def decode_frame_job_obs(slab_name: str, length: int, flags: int,
+                         trace_id: int = 0) -> tuple[int | bytes, dict]:
+    """:func:`decode_frame_job` + ``(…, obs delta)`` under ``trace_id``."""
+    from repro import obs
+    from repro.service.pipeline import decode_payload
+
+    shm = _attach(slab_name)
+    payload = bytes(shm.buf[:length])
+    data = decode_payload(flags, payload, trace_id=trace_id)
+    if len(data) > shm.size:
+        return data, obs.delta()
+    shm.buf[:len(data)] = data
+    return len(data), obs.delta()

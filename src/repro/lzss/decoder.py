@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import CorruptChunkError, TruncatedContainerError
 from repro.lzss.formats import FLAG_LITERAL, TokenFormat
 from repro.lzss.parse import reachable_from
@@ -201,16 +202,29 @@ def decode_chunked_with_stats(
     out = np.zeros(output_size, dtype=np.uint8)
     tokens = np.zeros(n_chunks, dtype=np.int64)
     offsets = np.concatenate([[0], np.cumsum(chunk_sizes)])
-    for c in range(n_chunks):
-        lo = c * chunk_size
-        hi = min(lo + chunk_size, output_size)
-        piece = arr[offsets[c]:offsets[c + 1]]
-        if chunk_crcs is not None and crc32(piece) != int(chunk_crcs[c]):
-            raise CorruptChunkError("chunk checksum mismatch",
-                                    chunk_index=first_chunk + c,
-                                    offset=int(offsets[c]))
-        out[lo:hi], tokens[c] = _decode_stream(piece, fmt, hi - lo,
-                                               chunk_index=first_chunk + c)
+    # CRC accounting accumulates locally and flushes in one shot — even
+    # when a mismatch aborts the loop mid-way.
+    checks = failures = 0
+    try:
+        with obs.stage("decode.stream", chunks=n_chunks):
+            for c in range(n_chunks):
+                lo = c * chunk_size
+                hi = min(lo + chunk_size, output_size)
+                piece = arr[offsets[c]:offsets[c + 1]]
+                if chunk_crcs is not None:
+                    checks += 1
+                    if crc32(piece) != int(chunk_crcs[c]):
+                        failures += 1
+                        raise CorruptChunkError("chunk checksum mismatch",
+                                                chunk_index=first_chunk + c,
+                                                offset=int(offsets[c]))
+                out[lo:hi], tokens[c] = _decode_stream(
+                    piece, fmt, hi - lo, chunk_index=first_chunk + c)
+    finally:
+        if checks:
+            obs.inc("container.crc_checks", checks)
+        if failures:
+            obs.inc("container.crc_failures", failures)
     return out.tobytes(), tokens
 
 
@@ -243,26 +257,36 @@ def salvage_decode_chunked(
     tokens = np.zeros(n_chunks, dtype=np.int64)
     offsets = np.concatenate([[0], np.cumsum(chunk_sizes)])
     report = SalvageReport(n_chunks=n_chunks, fill_byte=fill_byte)
-    for c in range(n_chunks):
-        lo = c * chunk_size
-        hi = min(lo + chunk_size, output_size)
-        p_lo, p_hi = int(offsets[c]), int(offsets[c + 1])
-        good = p_hi <= arr.size
-        if good and chunk_crcs is not None:
-            good = crc32(arr[p_lo:p_hi]) == int(chunk_crcs[c])
-        if good:
-            try:
-                out[lo:hi], tokens[c] = _decode_stream(
-                    arr[p_lo:p_hi], fmt, hi - lo,
-                    chunk_index=first_chunk + c)
-            except (CorruptChunkError, TruncatedContainerError):
-                out[lo:hi] = fill_byte
-                good = False
-        if good:
-            report.recovered.append(first_chunk + c)
-        else:
-            report.lost.append(first_chunk + c)
-            report.lost_ranges.append((lo, hi))
+    checks = failures = 0
+    with obs.stage("decode.stream", chunks=n_chunks, salvage=True):
+        for c in range(n_chunks):
+            lo = c * chunk_size
+            hi = min(lo + chunk_size, output_size)
+            p_lo, p_hi = int(offsets[c]), int(offsets[c + 1])
+            good = p_hi <= arr.size
+            if good and chunk_crcs is not None:
+                checks += 1
+                good = crc32(arr[p_lo:p_hi]) == int(chunk_crcs[c])
+                failures += not good
+            if good:
+                try:
+                    out[lo:hi], tokens[c] = _decode_stream(
+                        arr[p_lo:p_hi], fmt, hi - lo,
+                        chunk_index=first_chunk + c)
+                except (CorruptChunkError, TruncatedContainerError):
+                    out[lo:hi] = fill_byte
+                    good = False
+            if good:
+                report.recovered.append(first_chunk + c)
+            else:
+                report.lost.append(first_chunk + c)
+                report.lost_ranges.append((lo, hi))
+    if checks:
+        obs.inc("container.crc_checks", checks)
+    if failures:
+        obs.inc("container.crc_failures", failures)
+    obs.inc("container.salvage_chunks_recovered", len(report.recovered))
+    obs.inc("container.salvage_chunks_lost", len(report.lost))
     return out.tobytes(), tokens, report
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.lzss.formats import FLAG_LITERAL, TokenFormat
 from repro.lzss.lagmatch import lag_best_matches
 from repro.lzss.matcher import DEFAULT_MAX_CHAIN, hash_chain_best_matches
@@ -75,6 +76,9 @@ def best_matches(
         res = lag_best_matches(arr, fmt.window, fmt.max_match,
                                chunk_size=chunk_size,
                                collect_per_position=collect_detail)
+        obs.inc("matcher.lag_calls")
+        if res.compare_count:
+            obs.inc("matcher.lag_compares", int(res.compare_count))
         return (res.best_len, res.best_dist, res.compare_count,
                 res.per_position_compares, res.warp_compares)
     blen, bdist = hash_chain_best_matches(arr, fmt.window, fmt.max_match,
@@ -109,29 +113,31 @@ def _tokenize_arrays(arr: np.ndarray, fmt: TokenFormat,
     if parse not in ("greedy", "lazy", "optimal"):
         raise ValueError(f"unknown parse strategy {parse!r}")
     n = arr.size
-    blen, bdist, compares, per_pos, warp_cmp = best_matches(
-        arr, fmt, chunk_size, max_chain, collect_detail, slice_size)
-    matchable = blen >= fmt.min_match
-    if parse == "lazy" and n > 1:
-        longer_next = np.zeros(n, dtype=bool)
-        longer_next[:-1] = blen[1:] > blen[:-1]
-        matchable &= ~longer_next
-    if parse == "optimal":
-        advance = optimal_token_advance(blen, fmt.literal_bits,
-                                        fmt.pair_bits, fmt.min_match)
-        matchable = advance > 1
-    else:
-        advance = np.where(matchable, blen, 1).astype(np.int64)
-    starts = greedy_token_starts(advance, slice_size or chunk_size)
+    with obs.stage("encode.match", size=n, parse=parse):
+        blen, bdist, compares, per_pos, warp_cmp = best_matches(
+            arr, fmt, chunk_size, max_chain, collect_detail, slice_size)
+    with obs.stage("encode.parse", parse=parse):
+        matchable = blen >= fmt.min_match
+        if parse == "lazy" and n > 1:
+            longer_next = np.zeros(n, dtype=bool)
+            longer_next[:-1] = blen[1:] > blen[:-1]
+            matchable &= ~longer_next
+        if parse == "optimal":
+            advance = optimal_token_advance(blen, fmt.literal_bits,
+                                            fmt.pair_bits, fmt.min_match)
+            matchable = advance > 1
+        else:
+            advance = np.where(matchable, blen, 1).astype(np.int64)
+        starts = greedy_token_starts(advance, slice_size or chunk_size)
 
-    tok_len = advance[starts] if parse == "optimal" else blen[starts].astype(np.int64)
-    tok_dist = bdist[starts].astype(np.int64)
-    is_pair = matchable[starts]
+        tok_len = advance[starts] if parse == "optimal" else blen[starts].astype(np.int64)
+        tok_dist = bdist[starts].astype(np.int64)
+        is_pair = matchable[starts]
 
-    lit_values = (np.int64(FLAG_LITERAL) << 8) | arr[starts].astype(np.int64)
-    pair_values = ((tok_dist - 1) << fmt.length_bits) | (tok_len - fmt.min_match)
-    values = np.where(is_pair, pair_values, lit_values)
-    nbits = np.where(is_pair, fmt.pair_bits, fmt.literal_bits).astype(np.int64)
+        lit_values = (np.int64(FLAG_LITERAL) << 8) | arr[starts].astype(np.int64)
+        pair_values = ((tok_dist - 1) << fmt.length_bits) | (tok_len - fmt.min_match)
+        values = np.where(is_pair, pair_values, lit_values)
+        nbits = np.where(is_pair, fmt.pair_bits, fmt.literal_bits).astype(np.int64)
 
     n_pairs = int(is_pair.sum())
     stats = EncodeStats(
@@ -158,7 +164,8 @@ def encode(data, fmt: TokenFormat, max_chain: int = DEFAULT_MAX_CHAIN,
     arr = as_u8(data)
     values, nbits, _starts, stats = _tokenize_arrays(
         arr, fmt, None, max_chain, collect_detail, parse=parse)
-    payload, total_bits = pack_tokens(values, nbits)
+    with obs.stage("encode.pack", tokens=int(values.size)):
+        payload, total_bits = pack_tokens(values, nbits)
     stats.total_bits = total_bits
     stats.output_size = len(payload)
     return EncodeResult(payload=payload, format=fmt, input_size=arr.size,
@@ -188,18 +195,19 @@ def encode_chunked(data, fmt: TokenFormat, chunk_size: int,
                             chunk_sizes=np.zeros(0, dtype=np.int64),
                             chunk_size=chunk_size, stats=stats)
 
-    chunk_id = starts // chunk_size
-    bits_per_chunk = np.bincount(chunk_id, weights=nbits,
-                                 minlength=n_chunks).astype(np.int64)
-    pad_bits = (-bits_per_chunk) % 8
-    # Inject one zero-valued pad entry at each chunk boundary.  Insert
-    # positions are cumulative token counts per chunk.
-    tokens_per_chunk = np.bincount(chunk_id, minlength=n_chunks)
-    boundaries = np.cumsum(tokens_per_chunk)
-    values_all = np.insert(values, boundaries, 0)
-    nbits_all = np.insert(nbits, boundaries, pad_bits)
+    with obs.stage("encode.pack", tokens=int(values.size), chunks=n_chunks):
+        chunk_id = starts // chunk_size
+        bits_per_chunk = np.bincount(chunk_id, weights=nbits,
+                                     minlength=n_chunks).astype(np.int64)
+        pad_bits = (-bits_per_chunk) % 8
+        # Inject one zero-valued pad entry at each chunk boundary.  Insert
+        # positions are cumulative token counts per chunk.
+        tokens_per_chunk = np.bincount(chunk_id, minlength=n_chunks)
+        boundaries = np.cumsum(tokens_per_chunk)
+        values_all = np.insert(values, boundaries, 0)
+        nbits_all = np.insert(nbits, boundaries, pad_bits)
 
-    payload, total_bits = pack_tokens(values_all, nbits_all)
+        payload, total_bits = pack_tokens(values_all, nbits_all)
     chunk_bytes = (bits_per_chunk + pad_bits) // 8
     assert int(chunk_bytes.sum()) == len(payload)
 

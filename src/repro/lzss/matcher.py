@@ -49,6 +49,7 @@ import threading
 
 import numpy as np
 
+from repro import obs
 from repro.util.buffers import as_u8
 from repro.util.validation import require_range
 
@@ -184,6 +185,7 @@ def hash_chain_best_matches(
     require_range(max_match, 3, 1 << 16, "max_match")
     require_range(max_chain, 1, 1 << 24, "max_chain")
 
+    obs.inc("matcher.hash_calls")
     best_len = np.zeros(n, dtype=np.int32)
     best_dist = np.zeros(n, dtype=np.int32)
     if n < 4:  # a 3-byte match needs source and destination to both fit
@@ -226,12 +228,18 @@ def hash_chain_best_matches(
     g_sorted = grams[order]
 
     # A position whose best length reached its cap can never improve.
+    # Observability accumulates locally (rounds, saturation) and records
+    # once after the loop — never per round.
     viable = cap_all >= 3
+    rounds = 0
+    saturated = False
     for k in range(1, max_chain + 1):
         if k >= g_sorted.size:
             break
         if k % 8 == 0 and not np.any(viable & (best_len < cap_all)):
+            saturated = True
             break  # every viable position is saturated — nothing to gain
+        rounds += 1
         same = g_sorted[k:] == g_sorted[:-k]
         if not np.any(same):
             break
@@ -252,6 +260,10 @@ def hash_chain_best_matches(
             upd = i_pos[better]
             best_len[upd] = lengths[better]
             best_dist[upd] = (i_pos - j_pos)[better]
+
+    obs.inc("matcher.hash_rounds", rounds)
+    if saturated:
+        obs.inc("matcher.saturation_exits")
 
     # Lengths below 3 are never encoded; normalize them away so all
     # matchers agree on the canonical "no match" representation.
@@ -281,6 +293,7 @@ def probe_incompressible(
     Cost is two ``bincount`` passes over ≤ ``sample_bytes`` bytes —
     orders of magnitude below one matcher chain round.
     """
+    obs.inc("matcher.probe_calls")
     arr = as_u8(data)
     if arr.size < max(min_size, 2):
         return False
@@ -302,4 +315,7 @@ def probe_incompressible(
     # true 16-bit ceiling for large samples, where the maximum-likelihood
     # estimator's negative bias eats a fraction of a bit).
     ceiling = min(15.0, float(np.log2(m - 1)) - 0.8)
-    return h2 >= ceiling
+    hit = h2 >= ceiling
+    if hit:
+        obs.inc("matcher.probe_hits")
+    return hit

@@ -1,0 +1,211 @@
+"""repro.obs — process-wide observability: metrics, spans, exporters.
+
+One global :class:`MetricRegistry` per process plus a ring-buffered
+span log (:mod:`repro.obs.trace`), with exporters for Prometheus text,
+JSON, and chrome-trace (:mod:`repro.obs.export`).  Instrumented code
+uses the module-level helpers::
+
+    from repro import obs
+
+    obs.inc("matcher.probe_calls")
+    with obs.stage("encode.match", chunk=i):   # span + *_seconds histogram
+        ...
+
+The helpers check :func:`enabled` first, so a disabled build pays one
+attribute load and a truth test per call site.  The switch defaults to
+on and reads ``REPRO_OBS`` at import (``0``/``false``/``off`` disable);
+:func:`enable`/:func:`disable` flip it at runtime for tests and the
+overhead guard.
+
+Cross-process flow (service pool workers): the worker finishes a job,
+calls :func:`delta` and ships the result — a picklable dict of metric
+diffs plus its drained span ring — back with the job result; the
+parent calls :func:`merge_delta`.  Same-process executors are safe to
+route through the same path: the registry merge recognises its own pid
+and no-ops, and the span ring was drained so re-ingesting restores
+rather than duplicates.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs import export, trace
+from repro.obs.export import (
+    chrome_trace,
+    format_pretty,
+    json_text,
+    merge_snapshots,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.obs.registry import Histogram, MetricRegistry
+from repro.obs.trace import Span, new_trace_id, span
+
+__all__ = [
+    "Histogram",
+    "MetricRegistry",
+    "Span",
+    "chrome_trace",
+    "delta",
+    "disable",
+    "enable",
+    "enabled",
+    "export",
+    "format_pretty",
+    "gauge",
+    "get_registry",
+    "inc",
+    "json_text",
+    "merge_delta",
+    "merge_snapshots",
+    "new_trace_id",
+    "observe",
+    "prometheus_text",
+    "reset",
+    "span",
+    "stage",
+    "trace",
+    "write_chrome_trace",
+]
+
+#: Counter families the whole stack reports into.  Preregistered so an
+#: exporter always shows the full schema — a scrape taken before the
+#: first crash still carries ``engine.worker_crashes 0``.
+COUNTER_KEYS = (
+    "container.crc_checks",
+    "container.crc_failures",
+    "container.salvage_chunks_lost",
+    "container.salvage_chunks_recovered",
+    "engine.serial_fallbacks",
+    "engine.shards",
+    "engine.worker_crashes",
+    "matcher.hash_calls",
+    "matcher.hash_rounds",
+    "matcher.lag_calls",
+    "matcher.lag_compares",
+    "matcher.probe_calls",
+    "matcher.probe_hits",
+    "matcher.saturation_exits",
+)
+
+#: Histogram families (seconds unless named otherwise), same rationale.
+HISTOGRAM_KEYS = (
+    "decode.stream_seconds",
+    "encode.fixup_seconds",
+    "encode.match_seconds",
+    "encode.pack_seconds",
+    "encode.parse_seconds",
+    "engine.queue_wait_seconds",
+    "engine.shard_seconds",
+)
+
+_TRUTHY_OFF = {"0", "false", "off", "no"}
+_enabled = os.environ.get("REPRO_OBS", "1").strip().lower() not in _TRUTHY_OFF
+
+_registry = MetricRegistry(preregister=COUNTER_KEYS,
+                           preregister_histograms=HISTOGRAM_KEYS)
+
+
+def enabled() -> bool:
+    """Whether instrumentation records anything right now."""
+    return _enabled
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def get_registry() -> MetricRegistry:
+    """The process-global registry all module-level helpers write to."""
+    return _registry
+
+
+def reset() -> None:
+    """Fresh global registry and empty span ring (test isolation)."""
+    global _registry
+    _registry = MetricRegistry(preregister=COUNTER_KEYS,
+                               preregister_histograms=HISTOGRAM_KEYS)
+    trace.clear()
+
+
+# ------------------------------------------------- recording helpers
+
+def inc(name: str, n: int = 1) -> None:
+    if _enabled:
+        _registry.inc(name, n)
+
+
+def observe(name: str, value: float) -> None:
+    if _enabled:
+        _registry.observe(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    if _enabled:
+        _registry.gauge(name, value)
+
+
+class stage:
+    """Span + duration histogram in one: ``with obs.stage("encode.match")``.
+
+    Opens a :func:`trace.span` named ``name`` and, on exit, observes the
+    elapsed seconds into the ``{name}_seconds`` histogram.  A plain
+    class rather than ``@contextmanager`` so the disabled path creates
+    no generator.
+    """
+
+    __slots__ = ("_name", "_attrs", "_span", "_t0")
+
+    def __init__(self, name: str, *, trace_id: int | None = None, **attrs):
+        self._name = name
+        self._attrs = attrs
+        self._span = (trace.span(name, trace_id=trace_id, **attrs)
+                      if _enabled else None)
+        self._t0 = 0.0
+
+    def __enter__(self):
+        if self._span is not None:
+            from time import perf_counter
+            self._span.__enter__()
+            self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        if self._span is not None:
+            from time import perf_counter
+            _registry.observe(f"{self._name}_seconds",
+                              perf_counter() - self._t0)
+            self._span.__exit__(*exc)
+        return False
+
+
+# ------------------------------------------------- cross-process flow
+
+def delta() -> dict:
+    """Picklable package of everything recorded since the last delta.
+
+    The worker side of the pool handoff: metric diffs from the global
+    registry plus the drained span ring.  Ship it with the job result.
+    """
+    return {"metrics": _registry.delta_snapshot(), "spans": trace.drain()}
+
+
+def merge_delta(payload: dict | None) -> None:
+    """Fold a worker's :func:`delta` into this process.
+
+    Metric diffs merge through the registry (which drops same-pid
+    deltas — an inline executor's writes already landed here); spans
+    always re-ingest, because :func:`delta` drained them from whichever
+    ring recorded them.
+    """
+    if not payload:
+        return
+    _registry.merge(payload.get("metrics"))
+    trace.ingest(payload.get("spans"))

@@ -1,0 +1,173 @@
+"""Exporters: Prometheus text exposition, JSON, chrome-trace.
+
+Three consumers, three formats:
+
+* :func:`prometheus_text` renders a registry snapshot in the
+  Prometheus text exposition format (v0.0.4) — sanitized metric names
+  under one prefix, counters as counters, gauges as ``_last``/``_max``
+  pairs, and the log-bucket histograms as classic cumulative-``le``
+  Prometheus histograms.  The gateway's ``/metrics`` sidecar serves
+  exactly this.
+* :func:`json_text` is the same snapshot as indented JSON — what the
+  CLI prints and what ``/metrics.json`` serves.
+* :func:`chrome_trace` converts a span list into the Chrome trace
+  event format (``chrome://tracing`` / Perfetto "traceEvents" JSON):
+  complete (``"ph": "X"``) events keyed by pid/tid, so nesting renders
+  from containment and pool-worker spans appear on their own rows.
+
+:func:`merge_snapshots` combines registry snapshots (e.g. the process
+global registry plus a gateway's private one) into one export.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+__all__ = [
+    "chrome_trace",
+    "format_pretty",
+    "json_text",
+    "merge_snapshots",
+    "prometheus_text",
+    "write_chrome_trace",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_BUCKET_RE = re.compile(r"^le_2\^(-?\d+)$")
+
+
+def _sanitize(name: str, prefix: str) -> str:
+    out = prefix + _NAME_RE.sub("_", name)
+    return out if not out[0].isdigit() else "_" + out
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Combine registry snapshots: counters add, gauges high-water,
+    histograms merge bucket-wise."""
+    out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snap in snapshots:
+        for name, v in snap.get("counters", {}).items():
+            out["counters"][name] = out["counters"].get(name, 0) + v
+        for name, g in snap.get("gauges", {}).items():
+            cur = out["gauges"].setdefault(name, dict(g))
+            cur["last"] = g["last"]
+            cur["max"] = max(cur["max"], g["max"])
+        for name, h in snap.get("histograms", {}).items():
+            cur = out["histograms"].get(name)
+            if cur is None:
+                out["histograms"][name] = {**h, "buckets": dict(h["buckets"])}
+                continue
+            cur["count"] += h["count"]
+            cur["sum"] += h["sum"]
+            for edge, pick in (("min", min), ("max", max)):
+                if h[edge] is not None:
+                    cur[edge] = (h[edge] if cur[edge] is None
+                                 else pick(cur[edge], h[edge]))
+            for b, n in h["buckets"].items():
+                cur["buckets"][b] = cur["buckets"].get(b, 0) + n
+            cur["mean"] = cur["sum"] / cur["count"] if cur["count"] else 0.0
+    return out
+
+
+def prometheus_text(snapshot: dict, prefix: str = "culzss_") -> str:
+    """Render one (possibly merged) snapshot as Prometheus exposition.
+
+    Dotted metric names sanitize to underscores (``ingress.frames_out``
+    → ``culzss_ingress_frames_out``); the original key is preserved in
+    the ``# HELP`` line so a scrape is greppable by either spelling.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        m = _sanitize(name, prefix)
+        lines += [f"# HELP {m} counter {name}",
+                  f"# TYPE {m} counter",
+                  f"{m} {snapshot['counters'][name]}"]
+    for name in sorted(snapshot.get("gauges", {})):
+        g = snapshot["gauges"][name]
+        m = _sanitize(name, prefix)
+        lines += [f"# HELP {m} gauge {name} (last reading / high water)",
+                  f"# TYPE {m}_last gauge", f"{m}_last {g['last']}",
+                  f"# TYPE {m}_max gauge", f"{m}_max {g['max']}"]
+    for name in sorted(snapshot.get("histograms", {})):
+        h = snapshot["histograms"][name]
+        m = _sanitize(name, prefix)
+        lines += [f"# HELP {m} histogram {name}",
+                  f"# TYPE {m} histogram"]
+        cum = 0
+        for bucket in sorted(h["buckets"],
+                             key=lambda b: int(_BUCKET_RE.match(b).group(1))):
+            exp = int(_BUCKET_RE.match(bucket).group(1))
+            cum += h["buckets"][bucket]
+            lines.append(f'{m}_bucket{{le="{2.0 ** exp:g}"}} {cum}')
+        lines.append(f'{m}_bucket{{le="+Inf"}} {h["count"]}')
+        lines.append(f"{m}_sum {h['sum']}")
+        lines.append(f"{m}_count {h['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def json_text(snapshot: dict) -> str:
+    return json.dumps(snapshot, indent=2, sort_keys=True)
+
+
+def format_pretty(snapshot: dict) -> str:
+    """Aligned human-readable dump (the ``culzss stats`` default)."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(k) for k in counters)
+        lines += [f"  {k:<{width}}  {counters[k]}" for k in sorted(counters)]
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(k) for k in gauges)
+        lines += [f"  {k:<{width}}  last={gauges[k]['last']:g} "
+                  f"max={gauges[k]['max']:g}" for k in sorted(gauges)]
+    hists = snapshot.get("histograms", {})
+    if hists:
+        lines.append("histograms:")
+        width = max(len(k) for k in hists)
+        for k in sorted(hists):
+            h = hists[k]
+            lines.append(
+                f"  {k:<{width}}  n={h['count']} mean={h['mean']:.6g} "
+                f"min={h['min'] if h['min'] is not None else '-'} "
+                f"max={h['max'] if h['max'] is not None else '-'}")
+    return "\n".join(lines) or "(no metrics recorded)"
+
+
+# ---------------------------------------------------------- chrome trace
+
+def chrome_trace(spans) -> dict:
+    """Span records → a ``chrome://tracing`` / Perfetto JSON document.
+
+    Complete events (``ph: "X"``) carry microsecond timestamps straight
+    from ``perf_counter``; rows group by pid (process) and the
+    recording thread's name, which is what makes parent/child nesting
+    visible — a child span's interval sits inside its parent's on the
+    same row.  Trace/span/parent ids travel in ``args`` for tooling.
+    """
+    events = []
+    for s in spans:
+        events.append({
+            "name": s.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": s.start * 1e6,
+            "dur": s.duration * 1e6,
+            "pid": s.pid,
+            "tid": s.thread,
+            "args": {"trace_id": s.trace_id, "span_id": s.span_id,
+                     "parent_id": s.parent_id, **s.attrs},
+        })
+    events.sort(key=lambda e: e["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, spans) -> Path:
+    """Dump :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(spans), indent=1))
+    return path

@@ -1,0 +1,180 @@
+"""Lightweight tracing: nested spans in a ring buffer.
+
+``span("encode.match", chunk=3)`` times a region and records a
+:class:`Span` on exit.  Spans nest through a :class:`contextvars`
+context variable — the async-safe, thread-local-compatible way to
+carry "who is my parent" — and land in a bounded ring buffer
+(``collections.deque``), so a long-running gateway traces forever in
+O(capacity) memory and an export simply drains or copies the ring.
+
+Cross-thread and cross-process propagation are explicit:
+
+* a thread pool wraps its work items with :func:`attach` around the
+  submitting context (:func:`current`), so shard spans parent to the
+  caller's span even though contextvars do not cross threads on their
+  own — :class:`repro.engine.ParallelEngine` does exactly this;
+* a process pool ships the integer ``trace_id`` (frames carry it in
+  the protocol-v2 header field) and the worker opens its spans under
+  that id; worker rings travel back inside the registry delta
+  (:func:`repro.obs.delta`) and :func:`ingest` them in the parent.
+
+Timestamps are ``perf_counter`` seconds — on Linux that is
+``CLOCK_MONOTONIC``, shared by every process on the box, so spans from
+pool workers line up with the parent's on one chrome-trace timeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from time import perf_counter
+
+__all__ = [
+    "DEFAULT_RING_CAPACITY",
+    "Span",
+    "attach",
+    "clear",
+    "current",
+    "drain",
+    "ingest",
+    "new_trace_id",
+    "set_capacity",
+    "span",
+    "spans",
+]
+
+DEFAULT_RING_CAPACITY = 8192
+
+#: (trace_id, span_id) of the innermost open span, or None at top level.
+_CTX: ContextVar[tuple[int, int] | None] = ContextVar("repro_obs_span",
+                                                      default=None)
+
+_RING: deque = deque(maxlen=DEFAULT_RING_CAPACITY)
+_RING_LOCK = threading.Lock()
+# Ids only need process-lifetime uniqueness; folding the pid into the
+# high bits keeps worker-process spans from colliding in a merged ring.
+_IDS = itertools.count(1)
+
+
+def _new_id() -> int:
+    return (os.getpid() & 0xFFFFFF) << 40 | next(_IDS)
+
+
+def new_trace_id() -> int:
+    """A fresh id grouping one logical operation's spans end to end."""
+    return _new_id()
+
+
+@dataclass
+class Span:
+    """One completed timed region.  Picklable — deltas carry these."""
+
+    name: str
+    trace_id: int
+    span_id: int
+    parent_id: int
+    start: float          # perf_counter seconds
+    duration: float       # seconds
+    pid: int
+    thread: str
+    attrs: dict = field(default_factory=dict)
+
+
+@contextmanager
+def span(name: str, *, trace_id: int | None = None, **attrs):
+    """Time a region; record a :class:`Span` when it closes.
+
+    Child spans opened inside (same task/thread context) parent to this
+    one automatically.  ``trace_id`` forces the trace grouping — the
+    cross-process case where the id arrived over the wire; a forced id
+    detaches from any unrelated enclosing span.  No-op (yields
+    ``None``) while observability is disabled.
+    """
+    from repro import obs
+
+    if not obs.enabled():
+        yield None
+        return
+    parent = _CTX.get()
+    if trace_id is None:
+        tid = parent[0] if parent else _new_id()
+        parent_id = parent[1] if parent else 0
+    else:
+        tid = trace_id
+        parent_id = parent[1] if parent and parent[0] == tid else 0
+    sid = _new_id()
+    token = _CTX.set((tid, sid))
+    t0 = perf_counter()
+    try:
+        yield (tid, sid)
+    finally:
+        dur = perf_counter() - t0
+        _CTX.reset(token)
+        record = Span(name=name, trace_id=tid, span_id=sid,
+                      parent_id=parent_id, start=t0, duration=dur,
+                      pid=os.getpid(),
+                      thread=threading.current_thread().name, attrs=attrs)
+        with _RING_LOCK:
+            _RING.append(record)
+
+
+def current() -> tuple[int, int] | None:
+    """The (trace_id, span_id) context to hand to another thread."""
+    return _CTX.get()
+
+
+@contextmanager
+def attach(ctx: tuple[int, int] | None):
+    """Run the body under an explicitly captured span context.
+
+    The thread-pool handoff: the submitter captures :func:`current`,
+    the worker attaches it, and spans opened inside parent correctly.
+    """
+    token = _CTX.set(ctx)
+    try:
+        yield
+    finally:
+        _CTX.reset(token)
+
+
+# ------------------------------------------------------------- the ring
+
+def spans() -> list[Span]:
+    """A copy of the ring, oldest first (the ring is left intact)."""
+    with _RING_LOCK:
+        return list(_RING)
+
+
+def drain() -> list[Span]:
+    """Empty the ring and return what it held, oldest first."""
+    with _RING_LOCK:
+        out = list(_RING)
+        _RING.clear()
+    return out
+
+
+def ingest(incoming) -> None:
+    """Append spans recorded elsewhere (a worker's drained ring)."""
+    if not incoming:
+        return
+    with _RING_LOCK:
+        _RING.extend(incoming)
+
+
+def clear() -> None:
+    with _RING_LOCK:
+        _RING.clear()
+
+
+def set_capacity(n: int) -> None:
+    """Resize the ring (keeps the newest spans that still fit)."""
+    global _RING
+    if n < 1:
+        raise ValueError("ring capacity must be positive")
+    with _RING_LOCK:
+        _RING = deque(_RING, maxlen=n)

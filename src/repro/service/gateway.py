@@ -27,6 +27,8 @@ import asyncio
 from dataclasses import dataclass
 from typing import Awaitable, Callable
 
+from repro import obs
+from repro.obs.export import json_text, merge_snapshots, prometheus_text
 from repro.service.metrics import Metrics
 from repro.service.pipeline import EgressPipeline, IngressPipeline
 from repro.service.protocol import (
@@ -123,12 +125,24 @@ class GatewayServer:
     write per connection, so a dead peer cannot pin a handler forever.
     ``use_shm`` selects the shared-memory frame transport into the
     decode pool (default: automatic — on whenever ``workers > 0``).
+
+    ``metrics_port`` opens a sidecar HTTP listener on the same host
+    serving ``GET /metrics`` (Prometheus text exposition) and
+    ``GET /metrics.json`` (the same snapshot as JSON).  The scrape is
+    the union of the gateway's own :class:`Metrics` registry and the
+    process-global :mod:`repro.obs` registry, so gateway counters and
+    codec-layer counters (matcher probes, encoder stage timings,
+    container CRC events, engine shard stats) land in one page.  Pass
+    ``0`` to bind an ephemeral port (read it back from
+    ``metrics_port`` after :meth:`start`); ``None`` (the default)
+    disables the sidecar.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  workers: int = 0, queue_depth: int = 8,
                  timeout: float = 30.0, metrics: Metrics | None = None,
                  use_shm: bool | None = None,
+                 metrics_port: int | None = None,
                  deliver: Callable[[int, int, bytes], Awaitable[None]]
                  | None = None) -> None:
         self.host = host
@@ -138,8 +152,10 @@ class GatewayServer:
         self.use_shm = use_shm
         self.timeout = timeout
         self.metrics = metrics or Metrics()
+        self.metrics_port = metrics_port
         self._deliver = deliver
         self._server: asyncio.AbstractServer | None = None
+        self._metrics_server: asyncio.AbstractServer | None = None
         self._handlers: set[asyncio.Task] = set()
         self._conns_done = asyncio.Event()
         self._conns_seen = 0
@@ -148,6 +164,60 @@ class GatewayServer:
         self._server = await asyncio.start_server(self._on_connection,
                                                   self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._on_metrics_connection, self.host, self.metrics_port)
+            self.metrics_port = \
+                self._metrics_server.sockets[0].getsockname()[1]
+
+    def metrics_snapshot(self) -> dict:
+        """Gateway metrics merged with the process-global registry."""
+        return merge_snapshots(obs.get_registry().snapshot(),
+                               self.metrics.snapshot())
+
+    async def _on_metrics_connection(self, reader: asyncio.StreamReader,
+                                     writer: asyncio.StreamWriter) -> None:
+        """One-shot HTTP/1.0 exchange: parse the request line, respond.
+
+        Deliberately minimal — no keep-alive, no chunked bodies; it
+        exists for ``curl`` and Prometheus scrapers, both of which are
+        happy with connection-close semantics.
+        """
+        try:
+            request = await asyncio.wait_for(reader.readline(), self.timeout)
+            parts = request.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            # Drain the remaining request headers up to the blank line.
+            while True:
+                line = await asyncio.wait_for(reader.readline(),
+                                              self.timeout)
+                if line in (b"", b"\r\n", b"\n"):
+                    break
+            snap = self.metrics_snapshot()
+            if path.split("?", 1)[0] == "/metrics":
+                status, ctype = "200 OK", "text/plain; version=0.0.4"
+                body = prometheus_text(snap).encode()
+            elif path.split("?", 1)[0] == "/metrics.json":
+                status, ctype = "200 OK", "application/json"
+                body = json_text(snap).encode()
+            else:
+                status, ctype = "404 Not Found", "text/plain"
+                body = b"try /metrics or /metrics.json\n"
+            writer.write(
+                f"HTTP/1.0 {status}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n".encode() + body)
+            await writer.drain()
+        except (ConnectionError, OSError, asyncio.TimeoutError,
+                TimeoutError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
     async def __aenter__(self) -> "GatewayServer":
         await self.start()
@@ -223,6 +293,9 @@ class GatewayServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         pending = list(self._handlers)
         if pending and drain:
             _, pending = await asyncio.wait(pending, timeout=drain_timeout)

@@ -1,117 +1,56 @@
-"""Gateway metrics: counters, high-water gauges, log-bucket histograms.
+"""Gateway metrics — a thin adapter over :mod:`repro.obs`.
 
 One :class:`Metrics` instance is threaded through the pipeline stages
 and the gateway endpoints; everything it knows comes out of one
 :meth:`Metrics.snapshot` dict so the CLI (and tests) can print or
 assert on it without touching internals.
 
-Histograms use geometric (power-of-two) buckets, which cover frame
-sizes (bytes), stage waits (seconds), and compression ratios with one
-scheme and O(1) memory — the classic Prometheus shape, small enough to
-snapshot on every connection close.
+The recording machinery (counters, high-water gauges, the log-bucket
+:class:`Histogram`) moved to :class:`repro.obs.MetricRegistry` so the
+whole stack shares one metric shape; this module keeps the historical
+surface — every method and every snapshot key is unchanged — as a
+veneer over a registry.  By default each ``Metrics()`` owns a private
+registry (tests rely on instances being independent); pass an explicit
+``registry`` — e.g. ``repro.obs.get_registry()`` — to aggregate into a
+shared one instead.  The gateway's Prometheus endpoint exports the
+union of its instance registry and the process-global registry, so
+gateway keys and codec-layer keys land in one scrape.
 """
 
 from __future__ import annotations
 
-import math
-import threading
-from collections import defaultdict
+from repro.obs.registry import Histogram, MetricRegistry
 
 __all__ = ["Histogram", "Metrics"]
-
-
-class Histogram:
-    """Fixed geometric buckets, ``(2^k, 2^(k+1)]``, plus count/sum/min/max.
-
-    Covers ``2**-24`` (~6e-8, below any wait we time) through ``2**40``
-    (a terabyte, above any frame we frame).  Values at or below the
-    smallest edge land in the first bucket; zero is counted but kept
-    out of ``min`` only when no other sample exists.
-    """
-
-    _LO, _HI = -24, 40
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.min: float | None = None
-        self.max: float | None = None
-        self._buckets: dict[int, int] = defaultdict(int)
-
-    def record(self, value: float) -> None:
-        value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        if value <= 0:
-            exp = self._LO
-        else:
-            exp = min(max(math.ceil(math.log2(value)), self._LO), self._HI)
-        self._buckets[exp] += 1
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def snapshot(self) -> dict:
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "min": self.min,
-            "max": self.max,
-            "buckets": {f"le_2^{exp}": n
-                        for exp, n in sorted(self._buckets.items())},
-        }
 
 
 class Metrics:
     """Counters + gauges + histograms behind one lock and one snapshot.
 
     The asyncio pipeline is single-threaded, but executor callbacks and
-    the benchmark harness are not guaranteed to be; a plain lock keeps
-    every entry point safe at negligible cost.
+    the benchmark harness are not guaranteed to be; the underlying
+    registry locks every entry point at negligible cost.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: dict[str, int] = defaultdict(int)
-        self._gauges: dict[str, dict[str, float]] = {}
-        self._histograms: dict[str, Histogram] = {}
+    def __init__(self, registry: MetricRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
 
     def inc(self, name: str, n: int = 1) -> None:
-        with self._lock:
-            self._counters[name] += n
+        self.registry.inc(name, n)
 
     def count(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
+        return self.registry.count(name)
 
     def gauge(self, name: str, value: float) -> None:
         """Record an instantaneous reading; keeps last and high-water."""
-        with self._lock:
-            g = self._gauges.setdefault(name, {"last": value, "max": value})
-            g["last"] = value
-            g["max"] = max(g["max"], value)
+        self.registry.gauge(name, value)
 
     def gauge_max(self, name: str) -> float:
-        with self._lock:
-            return self._gauges.get(name, {}).get("max", 0.0)
+        return self.registry.gauge_max(name)
 
     def observe(self, name: str, value: float) -> None:
-        with self._lock:
-            hist = self._histograms.get(name)
-            if hist is None:
-                hist = self._histograms[name] = Histogram()
-            hist.record(value)
+        self.registry.observe(name, value)
 
     def snapshot(self) -> dict:
         """Everything, as plain dicts — JSON-dumpable as-is."""
-        with self._lock:
-            return {
-                "counters": dict(self._counters),
-                "gauges": {k: dict(v) for k, v in self._gauges.items()},
-                "histograms": {k: h.snapshot()
-                               for k, h in self._histograms.items()},
-            }
+        return self.registry.snapshot()

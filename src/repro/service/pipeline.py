@@ -40,7 +40,9 @@ from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor
 from time import perf_counter
 from typing import AsyncIterator, Awaitable, Callable, Iterable
 
+from repro import obs
 from repro.errors import WorkerCrashError
+from repro.obs import trace
 from repro.service.metrics import Metrics
 from repro.service.protocol import FLAG_RAW, FRAME_HEADER_SIZE, Frame
 from repro.util.validation import require_range
@@ -55,11 +57,15 @@ __all__ = [
     "EgressPipeline",
     "IngressPipeline",
     "decode_payload",
+    "decode_payload_obs",
     "encode_payload",
+    "encode_payload_obs",
 ]
 
 
-def encode_payload(data: bytes, version: int = 2) -> tuple[int, bytes]:
+def encode_payload(data: bytes, version: int = 2, *,
+                   workers: int | None = None,
+                   trace_id: int = 0) -> tuple[int, bytes]:
     """Compress one buffer into ``(flags, payload)``.
 
     The raw-passthrough guard: if the CULZSS container comes out no
@@ -68,26 +74,51 @@ def encode_payload(data: bytes, version: int = 2) -> tuple[int, bytes]:
     expands its buffer by more than :data:`FRAME_HEADER_SIZE` bytes.
     The entropy probe short-circuits obviously incompressible buffers
     to that same raw path before any match search runs.
+
+    ``workers`` shards the encode across a :class:`repro.engine.
+    ParallelEngine`; ``trace_id`` joins the frame span (and everything
+    nested under it — engine shards, encoder stages) to an existing
+    :mod:`repro.obs` trace, e.g. the id the ingress stamped on the
+    frame header.
     """
     from repro.core import CompressionParams, gpu_compress
     from repro.lzss.matcher import probe_incompressible
 
     data = bytes(data)
-    if probe_incompressible(data):
-        return FLAG_RAW, data
-    container = gpu_compress(data, CompressionParams(version=version)).data
-    if len(container) >= len(data):
-        return FLAG_RAW, data
-    return 0, container
+    with trace.span("gateway.frame", trace_id=trace_id or None,
+                    op="encode", size=len(data)):
+        if probe_incompressible(data):
+            return FLAG_RAW, data
+        container = gpu_compress(data, CompressionParams(version=version),
+                                 workers=workers).data
+        if len(container) >= len(data):
+            return FLAG_RAW, data
+        return 0, container
 
 
-def decode_payload(flags: int, payload: bytes) -> bytes:
+def decode_payload(flags: int, payload: bytes, *,
+                   workers: int | None = None, trace_id: int = 0) -> bytes:
     """Invert :func:`encode_payload` for one frame payload."""
-    if flags & FLAG_RAW:
-        return payload
-    from repro.core import gpu_decompress
+    with trace.span("gateway.frame", trace_id=trace_id or None,
+                    op="decode", size=len(payload)):
+        if flags & FLAG_RAW:
+            return payload
+        from repro.core import gpu_decompress
 
-    return gpu_decompress(payload).data
+        return gpu_decompress(payload, workers=workers).data
+
+
+def encode_payload_obs(data: bytes, version: int = 2,
+                       trace_id: int = 0) -> tuple[int, bytes, dict]:
+    """Pool-worker pickle-path job: stock encode + the worker's obs delta."""
+    flags, payload = encode_payload(data, version, trace_id=trace_id)
+    return flags, payload, obs.delta()
+
+
+def decode_payload_obs(flags: int, payload: bytes,
+                       trace_id: int = 0) -> tuple[bytes, dict]:
+    """Pool-worker pickle-path job: stock decode + the worker's obs delta."""
+    return decode_payload(flags, payload, trace_id=trace_id), obs.delta()
 
 
 async def _aiter(items) -> AsyncIterator:
@@ -232,15 +263,18 @@ class IngressPipeline(_PooledStage):
                   send: Callable[[Frame], Awaitable[None]]) -> int:
         """Push every buffer through compression and ``send``; returns
         the number of data frames emitted."""
-        from repro.engine.shm import encode_frame_job
+        from repro.engine.shm import encode_frame_job, encode_frame_job_obs
         from repro.lzss.matcher import probe_incompressible
 
         loop = asyncio.get_running_loop()
         self._pool()  # build eagerly so the first frame pays no setup
         jobs: asyncio.Queue = asyncio.Queue(maxsize=self.queue_depth)
         m = self.metrics
+        # Stock jobs ship an obs delta (worker metrics + spans) home with
+        # each result; custom jobs keep their two-tuple contract.
+        traced = self._stock_job and obs.enabled()
 
-        def dispatch(data: bytes):
+        def dispatch(data: bytes, tid: int):
             """Submit one frame to the pool; returns ``(future, lease)``.
 
             A broken pool at submit time counts a crash, retries once on
@@ -252,13 +286,22 @@ class IngressPipeline(_PooledStage):
             try:
                 if lease is not None:
                     n = lease.write(data)
-                    fut = loop.run_in_executor(
-                        self._pool(), encode_frame_job, lease.name, n,
-                        self.version)
+                    if traced:
+                        fut = loop.run_in_executor(
+                            self._pool(), encode_frame_job_obs, lease.name,
+                            n, self.version, tid)
+                    else:
+                        fut = loop.run_in_executor(
+                            self._pool(), encode_frame_job, lease.name, n,
+                            self.version)
                     m.inc("ingress.shm_frames")
                     return fut, lease
                 if slabs is not None:
                     m.inc("ingress.shm_fallbacks")
+                if traced:
+                    return loop.run_in_executor(
+                        self._pool(), encode_payload_obs, data,
+                        self.version, tid), None
                 return loop.run_in_executor(self._pool(), self._job, data,
                                             self.version), None
             except _CRASH_ERRORS:
@@ -279,6 +322,7 @@ class IngressPipeline(_PooledStage):
             async for raw in _aiter(buffers):
                 data = bytes(raw)
                 lease = None
+                tid = trace.new_trace_id() if traced else 0
                 if self._stock_job and probe_incompressible(data):
                     # Near-random buffer: the codec would only rediscover
                     # FLAG_RAW the expensive way — skip the pool outright.
@@ -286,9 +330,9 @@ class IngressPipeline(_PooledStage):
                     fut.set_result((FLAG_RAW, data))
                     m.inc("ingress.probe_raw_frames")
                 else:
-                    fut, lease = dispatch(data)
+                    fut, lease = dispatch(data, tid)
                 enq = perf_counter()
-                await jobs.put((seq, data, enq, fut, lease))
+                await jobs.put((seq, data, enq, fut, lease, tid))
                 m.gauge("ingress.queue_depth", jobs.qsize())
                 seq += 1
             await jobs.put(None)
@@ -296,12 +340,12 @@ class IngressPipeline(_PooledStage):
 
         async def drain() -> None:
             while (item := await jobs.get()) is not None:
-                seq, data, enq, fut, lease = item
+                seq, data, enq, fut, lease, tid = item
                 n_in = len(data)
-                res = None
+                out = None
                 try:
                     try:
-                        flags, res = await fut
+                        out = await fut
                     except _CRASH_ERRORS:
                         # The worker died holding this frame; the input
                         # is still in hand, so re-run it serially.
@@ -310,11 +354,16 @@ class IngressPipeline(_PooledStage):
                             lease = None
                         self._crashed("ingress")
                         m.inc("ingress.serial_fallbacks")
-                        flags, res = await loop.run_in_executor(
+                        out = await loop.run_in_executor(
                             None, self._job, data, self.version)
                 finally:
-                    if lease is not None and res is None:
+                    if lease is not None and out is None:
                         lease.release()
+                if len(out) == 3:  # obs-carrying job: fold the delta in
+                    flags, res, worker_delta = out
+                    obs.merge_delta(worker_delta)
+                else:
+                    flags, res = out
                 if lease is not None:
                     # Length descriptor = payload is in the slab; bytes =
                     # the worker degraded this frame to the pickle path.
@@ -324,7 +373,7 @@ class IngressPipeline(_PooledStage):
                     payload = res
                 m.observe("ingress.stage_wait_seconds", perf_counter() - enq)
                 frame = Frame(stream_id=stream_id, seq=seq, flags=flags,
-                              payload=payload)
+                              payload=payload, trace_id=tid)
                 m.inc("ingress.frames_out")
                 m.inc("ingress.bytes_in", n_in)
                 m.inc("ingress.bytes_out", frame.wire_size)
@@ -379,12 +428,13 @@ class EgressPipeline(_PooledStage):
         been delivered — that is what makes the ACK a delivery receipt
         rather than a reception receipt.
         """
-        from repro.engine.shm import decode_frame_job
+        from repro.engine.shm import decode_frame_job, decode_frame_job_obs
 
         loop = asyncio.get_running_loop()
         self._pool()  # build eagerly so the first frame pays no setup
         jobs: asyncio.Queue = asyncio.Queue(maxsize=self.queue_depth)
         m = self.metrics
+        traced = self._stock_job and obs.enabled()
 
         def dispatch(frame: Frame):
             """Submit one frame to the pool; returns ``(future, lease)``.
@@ -399,12 +449,22 @@ class EgressPipeline(_PooledStage):
             try:
                 if lease is not None:
                     n = lease.write(frame.payload)
-                    fut = loop.run_in_executor(self._pool(), decode_frame_job,
-                                               lease.name, n, frame.flags)
+                    if traced:
+                        fut = loop.run_in_executor(
+                            self._pool(), decode_frame_job_obs, lease.name,
+                            n, frame.flags, frame.trace_id)
+                    else:
+                        fut = loop.run_in_executor(
+                            self._pool(), decode_frame_job, lease.name, n,
+                            frame.flags)
                     m.inc("egress.shm_frames")
                     return fut, lease
                 if slabs is not None:
                     m.inc("egress.shm_fallbacks")
+                if traced:
+                    return loop.run_in_executor(
+                        self._pool(), decode_payload_obs, frame.flags,
+                        frame.payload, frame.trace_id), None
                 return loop.run_in_executor(self._pool(), self._job,
                                             frame.flags, frame.payload), None
             except _CRASH_ERRORS:
@@ -458,6 +518,9 @@ class EgressPipeline(_PooledStage):
                 finally:
                     if lease is not None and res is None:
                         lease.release()
+                if isinstance(res, tuple):  # obs-carrying job: fold delta in
+                    res, worker_delta = res
+                    obs.merge_delta(worker_delta)
                 if lease is not None:
                     data = res if isinstance(res, bytes) else lease.read(res)
                     lease.release()

@@ -2,20 +2,30 @@
 
 A *frame* is the unit of traffic between gateway pairs: one input
 buffer, compressed (or passed through raw), prefixed with a fixed
-36-byte header.  All integers little-endian::
+header.  All integers little-endian::
 
     offset  size  field
     0       4     magic  b"CZF1"
-    4       1     protocol version (1)
+    4       1     protocol version (1 or 2)
     5       1     flags (bit 0: RAW, bit 1: END, bit 2: ACK)
     6       2     reserved (0)
     8       8     stream id
     16      8     sequence number within the stream
     24      4     payload length
     28      4     CRC-32 of the payload
-    32      4     CRC-32 of bytes [0, 32) — header self-check
+    [32     8     trace id — version 2 only]
+    …       4     CRC-32 of all preceding header bytes — self-check
 
-    36      …     payload
+    …       …     payload
+
+Version 1 headers are 36 bytes; version 2 inserts an 8-byte trace id
+before the header CRC (44 bytes total).  The trace id threads a
+:mod:`repro.obs` trace through the gateway: spans the egress opens for
+a frame join the trace the ingress started, across the network.  The
+version gate follows the container-v2 pattern: the writer emits a v1
+header whenever ``trace_id == 0``, so untraced traffic stays
+byte-identical to the historical wire format and old readers only ever
+see frames they can parse.
 
 Payload semantics by flags:
 
@@ -48,7 +58,10 @@ __all__ = [
     "FLAG_END",
     "FLAG_RAW",
     "FRAME_HEADER_SIZE",
+    "FRAME_HEADER_SIZE_V2",
     "FRAME_MAGIC",
+    "PROTOCOL_VERSION",
+    "PROTOCOL_VERSION_V2",
     "Frame",
     "FrameError",
     "MAX_PAYLOAD",
@@ -62,7 +75,9 @@ __all__ = [
 
 FRAME_MAGIC = b"CZF1"
 PROTOCOL_VERSION = 1
-FRAME_HEADER_SIZE = 36
+PROTOCOL_VERSION_V2 = 2
+FRAME_HEADER_SIZE = 36          # version 1
+FRAME_HEADER_SIZE_V2 = 44       # version 2: + 8-byte trace id
 _HEADER_FMT = "<4sBBHQQII"  # through payload CRC; header CRC appended
 _ACK_FMT = "<QQI"
 
@@ -82,12 +97,18 @@ MAX_PAYLOAD = 1 << 30
 
 @dataclass(frozen=True)
 class Frame:
-    """One protocol frame (header fields + payload bytes)."""
+    """One protocol frame (header fields + payload bytes).
+
+    ``trace_id`` (version 2) carries the :mod:`repro.obs` trace this
+    frame belongs to; 0 means untraced, and the frame serializes with
+    the byte-identical version-1 header.
+    """
 
     stream_id: int
     seq: int
     flags: int = 0
     payload: bytes = b""
+    trace_id: int = 0
 
     @property
     def is_raw(self) -> bool:
@@ -103,17 +124,25 @@ class Frame:
 
     @property
     def wire_size(self) -> int:
-        return FRAME_HEADER_SIZE + len(self.payload)
+        header = FRAME_HEADER_SIZE_V2 if self.trace_id else FRAME_HEADER_SIZE
+        return header + len(self.payload)
 
 
 def encode_frame(frame: Frame) -> bytes:
-    """Serialize a frame: header (with CRCs) + payload."""
+    """Serialize a frame: header (with CRCs) + payload.
+
+    A nonzero ``trace_id`` selects the version-2 header; otherwise the
+    bytes are exactly the historical version-1 encoding.
+    """
     if len(frame.payload) > MAX_PAYLOAD:
         raise FrameError(f"payload of {len(frame.payload)} bytes exceeds "
                          f"the {MAX_PAYLOAD}-byte frame bound")
-    head = struct.pack(_HEADER_FMT, FRAME_MAGIC, PROTOCOL_VERSION,
+    version = PROTOCOL_VERSION_V2 if frame.trace_id else PROTOCOL_VERSION
+    head = struct.pack(_HEADER_FMT, FRAME_MAGIC, version,
                        frame.flags, 0, frame.stream_id, frame.seq,
                        len(frame.payload), crc32(frame.payload))
+    if frame.trace_id:
+        head += struct.pack("<Q", frame.trace_id)
     return head + struct.pack("<I", crc32(head)) + frame.payload
 
 
@@ -128,25 +157,35 @@ def decode_frame(buf: bytes | bytearray | memoryview) -> tuple[Frame, int]:
         raise FrameError("truncated before frame header")
     (magic, version, flags, _reserved, stream_id, seq, length,
      payload_crc) = struct.unpack_from(_HEADER_FMT, buf)
-    (header_crc,) = struct.unpack_from("<I", buf, FRAME_HEADER_SIZE - 4)
     if magic != FRAME_MAGIC:
         raise FrameError("bad frame magic")
-    if crc32(bytes(buf[:FRAME_HEADER_SIZE - 4])) != header_crc:
-        raise FrameError("frame header checksum mismatch")
-    if version != PROTOCOL_VERSION:
+    # The version byte places the header CRC (v2 inserts the trace id
+    # first), so it is read pre-verification; a corrupted version byte
+    # at worst misplaces the CRC check, which then fails.
+    if version == PROTOCOL_VERSION:
+        header_size, trace_id = FRAME_HEADER_SIZE, 0
+    elif version == PROTOCOL_VERSION_V2:
+        header_size = FRAME_HEADER_SIZE_V2
+        if len(buf) < header_size:
+            raise FrameError("truncated before frame header")
+        (trace_id,) = struct.unpack_from("<Q", buf, 32)
+    else:
         raise FrameError(f"unsupported protocol version {version}")
+    (header_crc,) = struct.unpack_from("<I", buf, header_size - 4)
+    if crc32(bytes(buf[:header_size - 4])) != header_crc:
+        raise FrameError("frame header checksum mismatch")
     if flags & ~_KNOWN_FLAGS:
         raise FrameError(f"unknown frame flags {flags:#x}")
     if length > MAX_PAYLOAD:
         raise FrameError(f"frame length {length} exceeds bound")
-    end = FRAME_HEADER_SIZE + length
+    end = header_size + length
     if len(buf) < end:
         raise FrameError("truncated inside frame payload")
-    payload = bytes(buf[FRAME_HEADER_SIZE:end])
+    payload = bytes(buf[header_size:end])
     if crc32(payload) != payload_crc:
         raise FrameError("frame payload checksum mismatch")
     return Frame(stream_id=stream_id, seq=seq, flags=flags,
-                 payload=payload), end
+                 payload=payload, trace_id=trace_id), end
 
 
 def pack_ack(frames: int, byte_count: int, crc: int) -> bytes:
@@ -175,7 +214,16 @@ async def read_frame(reader: asyncio.StreamReader,
             if not exc.partial:
                 return None
             raise FrameError("connection closed mid-header") from exc
-        (_, _, _, _, _, _, length, _) = struct.unpack_from(_HEADER_FMT, head)
+        (magic, version, _, _, _, _, length, _) = struct.unpack_from(
+            _HEADER_FMT, head)
+        if magic != FRAME_MAGIC:
+            raise FrameError("bad frame magic")
+        if version == PROTOCOL_VERSION_V2:
+            try:
+                head += await reader.readexactly(
+                    FRAME_HEADER_SIZE_V2 - FRAME_HEADER_SIZE)
+            except asyncio.IncompleteReadError as exc:
+                raise FrameError("connection closed mid-header") from exc
         if length > MAX_PAYLOAD:
             raise FrameError(f"frame length {length} exceeds bound")
         try:

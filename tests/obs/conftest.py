@@ -1,0 +1,17 @@
+"""Observability tests share one process-global registry and span ring;
+reset both around every test so ordering never matters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.enable()
+    obs.reset()
+    yield
+    obs.enable()
+    obs.reset()

@@ -1,0 +1,131 @@
+"""Exporters: Prometheus text, JSON, chrome-trace, snapshot merging."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.obs import trace
+from repro.obs.export import (
+    chrome_trace,
+    format_pretty,
+    json_text,
+    merge_snapshots,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.obs.registry import MetricRegistry
+
+
+def _sample_registry() -> MetricRegistry:
+    reg = MetricRegistry()
+    reg.inc("ingress.frames_out", 3)
+    reg.gauge("ingress.queue_depth", 5)
+    reg.gauge("ingress.queue_depth", 2)
+    reg.observe("encode.match_seconds", 0.5)
+    reg.observe("encode.match_seconds", 3.0)
+    return reg
+
+
+# ----------------------------------------------------------- prometheus
+
+def test_prometheus_names_sanitize_under_prefix():
+    text = prometheus_text(_sample_registry().snapshot())
+    assert "culzss_ingress_frames_out 3" in text
+    assert "# TYPE culzss_ingress_frames_out counter" in text
+    # the dotted spelling survives in HELP for greppability
+    assert "# HELP culzss_ingress_frames_out counter ingress.frames_out" \
+        in text
+
+
+def test_prometheus_gauges_export_last_and_max():
+    text = prometheus_text(_sample_registry().snapshot())
+    assert "culzss_ingress_queue_depth_last 2" in text
+    assert "culzss_ingress_queue_depth_max 5" in text
+
+
+def test_prometheus_histogram_buckets_cumulative():
+    text = prometheus_text(_sample_registry().snapshot())
+    # 0.5 -> le 0.5 bucket; 3.0 -> le 4; cumulative counts end at +Inf
+    assert 'culzss_encode_match_seconds_bucket{le="0.5"} 1' in text
+    assert 'culzss_encode_match_seconds_bucket{le="4"} 2' in text
+    assert 'culzss_encode_match_seconds_bucket{le="+Inf"} 2' in text
+    assert "culzss_encode_match_seconds_count 2" in text
+    assert "culzss_encode_match_seconds_sum 3.5" in text
+    # le values must be nondecreasing in document order
+    counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()
+              if line.startswith("culzss_encode_match_seconds_bucket")]
+    assert counts == sorted(counts)
+
+
+def test_prometheus_preregistered_schema_always_scrapeable():
+    """A scrape taken before any traffic still carries every counter
+    and histogram family the stack reports into, at zero."""
+    text = prometheus_text(obs.get_registry().snapshot())
+    for key in obs.COUNTER_KEYS:
+        assert f"{'culzss_' + key.replace('.', '_')} 0" in text
+    for key in obs.HISTOGRAM_KEYS:
+        assert f"culzss_{key.replace('.', '_')}_count 0" in text
+
+
+def test_json_round_trips():
+    snap = _sample_registry().snapshot()
+    assert json.loads(json_text(snap)) == json.loads(json_text(snap))
+    assert json.loads(json_text(snap))["counters"]["ingress.frames_out"] == 3
+
+
+def test_format_pretty_handles_empty_and_full():
+    assert format_pretty({}) == "(no metrics recorded)"
+    text = format_pretty(_sample_registry().snapshot())
+    assert "ingress.frames_out" in text and "encode.match_seconds" in text
+
+
+# -------------------------------------------------------------- merging
+
+def test_merge_snapshots_counters_add_gauges_high_water():
+    a = _sample_registry().snapshot()
+    b = _sample_registry().snapshot()
+    merged = merge_snapshots(a, b)
+    assert merged["counters"]["ingress.frames_out"] == 6
+    assert merged["gauges"]["ingress.queue_depth"]["max"] == 5
+    h = merged["histograms"]["encode.match_seconds"]
+    assert h["count"] == 4
+    assert abs(h["sum"] - 7.0) < 1e-12
+    assert abs(h["mean"] - 1.75) < 1e-12
+    assert h["min"] == 0.5 and h["max"] == 3.0
+
+
+def test_merge_snapshots_disjoint_keys_union():
+    a = MetricRegistry()
+    a.inc("only.a")
+    b = MetricRegistry()
+    b.observe("only.b", 1.0)
+    merged = merge_snapshots(a.snapshot(), b.snapshot())
+    assert merged["counters"]["only.a"] == 1
+    assert merged["histograms"]["only.b"]["count"] == 1
+
+
+# --------------------------------------------------------- chrome trace
+
+def test_chrome_trace_shape_and_nesting_args(tmp_path):
+    with trace.span("outer", op="encode"):
+        with trace.span("inner"):
+            pass
+    doc = chrome_trace(trace.spans())
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    assert [e["name"] for e in events] == ["outer", "inner"]  # ts order
+    for e in events:
+        assert e["ph"] == "X"
+        assert e["dur"] >= 0
+    outer = next(e for e in events if e["name"] == "outer")
+    inner = next(e for e in events if e["name"] == "inner")
+    assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+    assert inner["args"]["trace_id"] == outer["args"]["trace_id"]
+    assert outer["args"]["op"] == "encode"
+    # inner's interval sits inside outer's (what makes nesting render)
+    assert outer["ts"] <= inner["ts"]
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-3
+
+    path = write_chrome_trace(tmp_path / "t.json", trace.spans())
+    assert json.loads(path.read_text())["traceEvents"]

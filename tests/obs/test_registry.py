@@ -1,0 +1,151 @@
+"""MetricRegistry: recording, explicit zero semantics, delta merge."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from repro import obs
+from repro.obs.registry import Histogram, MetricRegistry
+
+
+# ---------------------------------------------------------- histograms
+
+def test_histogram_zero_is_explicit():
+    """A recorded zero counts everywhere: count, sum, min, max, and the
+    underflow bucket — the edge case the service-layer histogram used
+    to leave ambiguous."""
+    h = Histogram()
+    h.record(0.0)
+    assert h.count == 1
+    assert h.total == 0.0
+    assert h.min == 0.0 and h.max == 0.0
+    snap = h.snapshot()
+    assert snap["buckets"] == {f"le_2^{Histogram._LO}": 1}
+    # zero stays the minimum even after larger samples arrive
+    h.record(5.0)
+    assert h.min == 0.0 and h.max == 5.0
+
+
+def test_histogram_negative_and_tiny_land_in_underflow():
+    h = Histogram()
+    h.record(-1.0)
+    h.record(1e-30)
+    assert h.bucket_of(-1.0) == Histogram._LO
+    assert h.bucket_of(1e-30) == Histogram._LO
+    assert sum(h.snapshot()["buckets"].values()) == 2
+
+
+def test_histogram_bucket_edges_inclusive_upper():
+    # (2^k, 2^(k+1)] — a power of two lands in its own-exponent bucket
+    assert Histogram.bucket_of(1.0) == 0
+    assert Histogram.bucket_of(1.5) == 1
+    assert Histogram.bucket_of(2.0) == 1
+    assert Histogram.bucket_of(2.1) == 2
+    assert Histogram.bucket_of(2.0**50) == Histogram._HI
+
+
+# ------------------------------------------------------------ registry
+
+def test_preregistered_names_exist_at_zero():
+    reg = MetricRegistry(preregister=("a.b",), preregister_histograms=("c.d",))
+    snap = reg.snapshot()
+    assert snap["counters"]["a.b"] == 0
+    assert snap["histograms"]["c.d"]["count"] == 0
+
+
+def test_delta_snapshot_is_differential_and_picklable():
+    reg = MetricRegistry()
+    reg.inc("x", 3)
+    reg.observe("h", 1.0)
+    d1 = pickle.loads(pickle.dumps(reg.delta_snapshot()))
+    assert d1["counters"] == {"x": 3}
+    assert d1["histograms"]["h"]["count"] == 1
+    # nothing new since -> empty diff sections
+    d2 = reg.delta_snapshot()
+    assert d2["counters"] == {} and d2["histograms"] == {}
+    reg.inc("x")
+    assert reg.delta_snapshot()["counters"] == {"x": 1}
+
+
+def test_merge_skips_own_pid():
+    reg = MetricRegistry()
+    reg.inc("x", 5)
+    delta = reg.delta_snapshot()
+    assert delta["pid"] == os.getpid()
+    reg.merge(delta)  # inline-executor case: must not double count
+    assert reg.count("x") == 5
+    reg.merge(None)   # and a missing delta is harmless
+    assert reg.count("x") == 5
+
+
+def test_merge_folds_foreign_delta():
+    worker = MetricRegistry()
+    worker.inc("x", 2)
+    worker.gauge("depth", 7)
+    worker.observe("h", 0.5)
+    worker.observe("h", 2.0)
+    delta = worker.delta_snapshot()
+    delta["pid"] += 1  # forge a foreign process
+
+    parent = MetricRegistry()
+    parent.inc("x", 1)
+    parent.observe("h", 4.0)
+    parent.merge(delta)
+    snap = parent.snapshot()
+    assert snap["counters"]["x"] == 3
+    assert snap["gauges"]["depth"] == {"last": 7, "max": 7}
+    h = snap["histograms"]["h"]
+    assert h["count"] == 3
+    assert h["min"] == 0.5 and h["max"] == 4.0
+    assert abs(h["sum"] - 6.5) < 1e-12
+
+
+def test_merge_minmax_idempotent():
+    """min/max travel as cumulative values: merging the same worker's
+    successive deltas never skews the extremes."""
+    worker = MetricRegistry()
+    worker.observe("h", 10.0)
+    d1 = worker.delta_snapshot()
+    d1["pid"] += 1
+    worker.observe("h", 1.0)
+    d2 = worker.delta_snapshot()
+    d2["pid"] += 1
+
+    parent = MetricRegistry()
+    parent.merge(d1)
+    parent.merge(d2)
+    h = parent.snapshot()["histograms"]["h"]
+    assert h["count"] == 2
+    assert h["min"] == 1.0 and h["max"] == 10.0
+
+
+# ----------------------------------------------- module-level helpers
+
+def test_module_helpers_respect_enable_switch():
+    obs.inc("t.counter")
+    assert obs.get_registry().count("t.counter") == 1
+    obs.disable()
+    try:
+        obs.inc("t.counter")
+        obs.observe("t.hist", 1.0)
+        with obs.stage("t.stage"):
+            pass
+    finally:
+        obs.enable()
+    snap = obs.get_registry().snapshot()
+    assert snap["counters"]["t.counter"] == 1
+    assert "t.hist" not in snap["histograms"]
+    assert "t.stage_seconds" not in snap["histograms"]
+
+
+def test_stage_records_span_and_histogram():
+    from repro.obs import trace
+
+    with obs.stage("t.work", chunk=3):
+        pass
+    snap = obs.get_registry().snapshot()
+    assert snap["histograms"]["t.work_seconds"]["count"] == 1
+    recorded = trace.spans()
+    assert recorded[-1].name == "t.work"
+    assert recorded[-1].attrs == {"chunk": 3}

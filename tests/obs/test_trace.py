@@ -1,0 +1,131 @@
+"""Span nesting, cross-thread attach, the ring, drain/ingest."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import obs
+from repro.obs import trace
+
+
+def _by_name():
+    return {s.name: s for s in trace.spans()}
+
+
+def test_spans_nest_in_one_context():
+    with trace.span("outer"):
+        with trace.span("mid"):
+            with trace.span("inner"):
+                pass
+    spans = _by_name()
+    assert spans["inner"].parent_id == spans["mid"].span_id
+    assert spans["mid"].parent_id == spans["outer"].span_id
+    assert spans["outer"].parent_id == 0
+    assert len({s.trace_id for s in spans.values()}) == 1
+    # children close first, so they land in the ring first
+    assert [s.name for s in trace.spans()] == ["inner", "mid", "outer"]
+
+
+def test_siblings_share_parent():
+    with trace.span("parent"):
+        with trace.span("a"):
+            pass
+        with trace.span("b"):
+            pass
+    spans = _by_name()
+    assert spans["a"].parent_id == spans["b"].parent_id \
+        == spans["parent"].span_id
+
+
+def test_forced_trace_id_detaches_foreign_parent():
+    """An id from the wire starts its own tree — an enclosing span from
+    an unrelated trace must not become the parent."""
+    wire_id = trace.new_trace_id()
+    with trace.span("unrelated"):
+        with trace.span("frame", trace_id=wire_id):
+            pass
+    spans = _by_name()
+    assert spans["frame"].trace_id == wire_id
+    assert spans["frame"].parent_id == 0
+    assert spans["unrelated"].trace_id != wire_id
+
+
+def test_forced_trace_id_keeps_matching_parent():
+    wire_id = trace.new_trace_id()
+    with trace.span("frame", trace_id=wire_id):
+        with trace.span("stage", trace_id=wire_id):
+            pass
+    spans = _by_name()
+    assert spans["stage"].parent_id == spans["frame"].span_id
+
+
+def test_attach_carries_context_across_threads():
+    """The ParallelEngine handoff: contextvars do not cross pool
+    threads, so the submitter captures current() and the worker
+    attaches it."""
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        with trace.span("submitter"):
+            ctx = trace.current()
+
+            def work():
+                with trace.attach(ctx):
+                    with trace.span("shard"):
+                        pass
+
+            pool.submit(work).result()
+
+            def naked():
+                with trace.span("orphan"):
+                    pass
+
+            pool.submit(naked).result()
+    spans = _by_name()
+    assert spans["shard"].parent_id == spans["submitter"].span_id
+    assert spans["orphan"].parent_id == 0
+
+
+def test_ring_bounds_memory():
+    trace.set_capacity(4)
+    try:
+        for i in range(10):
+            with trace.span(f"s{i}"):
+                pass
+        names = [s.name for s in trace.spans()]
+        assert names == ["s6", "s7", "s8", "s9"]
+    finally:
+        trace.set_capacity(trace.DEFAULT_RING_CAPACITY)
+
+
+def test_drain_then_ingest_restores():
+    with trace.span("kept"):
+        pass
+    shipped = trace.drain()
+    assert trace.spans() == []
+    trace.ingest(shipped)
+    assert [s.name for s in trace.spans()] == ["kept"]
+    trace.ingest(None)  # harmless
+    trace.ingest([])
+    assert len(trace.spans()) == 1
+
+
+def test_disabled_records_nothing():
+    obs.disable()
+    try:
+        with trace.span("invisible") as handle:
+            assert handle is None
+    finally:
+        obs.enable()
+    assert trace.spans() == []
+
+
+def test_span_ids_unique_and_pid_stamped():
+    import os
+
+    with trace.span("a"):
+        pass
+    with trace.span("b"):
+        pass
+    a, b = trace.spans()
+    assert a.span_id != b.span_id
+    assert a.pid == os.getpid()
+    assert (a.span_id >> 40) == (os.getpid() & 0xFFFFFF)

@@ -255,3 +255,74 @@ def test_corrupt_frame_drops_connection_not_server():
     ack = asyncio.run(scenario())
     assert ack.frames == 1
     assert metrics.count("server.connection_errors") >= 1
+
+
+# --------------------------------------------------- metrics sidecar
+
+async def _http_get(host: str, port: int, path: str) -> tuple[int, bytes]:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return int(head.split()[1]), body
+
+
+@pytest.mark.slow
+def test_metrics_sidecar_serves_full_stack_scrape():
+    """The acceptance scrape: one /metrics page carries the gateway's
+    own keys plus the codec-layer families (encoder stage timings,
+    matcher probes, engine shards/crashes, container CRC events)."""
+    import json
+
+    from repro import obs
+
+    metrics = Metrics()
+
+    async def scenario() -> tuple[int, bytes, int, bytes, int]:
+        async with GatewayServer(metrics=metrics,
+                                 metrics_port=0) as server:
+            assert server.metrics_port not in (None, 0)
+            client = GatewayClient(port=server.port, workers=0,
+                                   metrics=metrics)
+            async with client:
+                await client.send_stream(mixed_traffic(2048))
+            prom = await _http_get(server.host, server.metrics_port,
+                                   "/metrics")
+            js = await _http_get(server.host, server.metrics_port,
+                                 "/metrics.json")
+            missing = await _http_get(server.host, server.metrics_port,
+                                      "/nope")
+            await server.close()
+            return (*prom, *js, missing[0])
+
+    prom_status, prom, js_status, js, missing_status = asyncio.run(scenario())
+    assert prom_status == 200 and js_status == 200
+    assert missing_status == 404
+    text = prom.decode()
+    for key in ("culzss_server_frames_delivered",
+                "culzss_ingress_frames_out",
+                "culzss_encode_match_seconds_bucket",
+                "culzss_matcher_probe_calls",
+                "culzss_engine_shards",
+                "culzss_engine_worker_crashes",
+                "culzss_container_crc_checks",
+                "culzss_container_salvage_chunks_lost"):
+        assert key in text, key
+    assert int(text.split("\nculzss_server_frames_delivered ")[1]
+               .split("\n")[0]) > 0
+    snap = json.loads(js)
+    assert snap["counters"]["server.frames_delivered"] > 0
+    # codec work ran in this (workers=0) process: obs counters nonzero
+    assert snap["counters"]["matcher.probe_calls"] > 0
+
+
+def test_metrics_sidecar_defaults_off():
+    async def scenario() -> bool:
+        async with GatewayServer() as server:
+            return (server.metrics_port is None
+                    and server._metrics_server is None)
+
+    assert asyncio.run(scenario())

@@ -64,3 +64,98 @@ def test_observe_builds_named_histograms():
     hist = m.snapshot()["histograms"]["wait"]
     assert hist["count"] == 3
     assert abs(hist["sum"] - 0.7) < 1e-12
+
+
+# ------------------------------------------------ obs-adapter contract
+
+def test_histogram_is_the_shared_obs_histogram():
+    from repro.obs.registry import Histogram as ObsHistogram
+
+    assert Histogram is ObsHistogram
+
+
+def test_histogram_zero_counts_everywhere():
+    """The once-ambiguous edge case, now explicit: a recorded zero
+    counts toward count/sum and *is* the minimum."""
+    h = Histogram()
+    h.record(0.0)
+    assert (h.count, h.total, h.min, h.max) == (1, 0.0, 0.0, 0.0)
+    h.record(2.0)
+    assert h.min == 0.0 and h.max == 2.0
+    assert sum(h.snapshot()["buckets"].values()) == 2
+
+
+def test_metrics_instances_stay_independent():
+    a, b = Metrics(), Metrics()
+    a.inc("frames")
+    assert b.count("frames") == 0
+
+
+def test_metrics_can_share_an_explicit_registry():
+    from repro.obs.registry import MetricRegistry
+
+    reg = MetricRegistry()
+    m1, m2 = Metrics(reg), Metrics(reg)
+    m1.inc("frames")
+    m2.inc("frames")
+    assert m1.count("frames") == 2
+    assert reg.count("frames") == 2
+
+
+#: Every metric name the PR-1 gateway stack reported; the obs refactor
+#: must keep each one spelled identically in the snapshot.
+GATEWAY_METRIC_KEYS = (
+    "client.connects", "client.streams_acked",
+    "egress.bytes_in", "egress.bytes_out", "egress.duplicate_frames",
+    "egress.frames_in", "egress.queue_depth", "egress.reorder_depth",
+    "egress.reorder_evictions", "egress.serial_fallbacks",
+    "egress.shm_fallbacks", "egress.shm_frames",
+    "egress.stage_wait_seconds",
+    "ingress.bytes_in", "ingress.bytes_out", "ingress.frame_ratio",
+    "ingress.frames_out", "ingress.probe_raw_frames",
+    "ingress.queue_depth", "ingress.raw_frames",
+    "ingress.send_wait_seconds", "ingress.serial_fallbacks",
+    "ingress.shm_fallbacks", "ingress.shm_frames",
+    "ingress.stage_wait_seconds",
+    "server.bytes_delivered", "server.connection_errors",
+    "server.connections", "server.frames_delivered",
+    "server.streams_acked",
+)
+
+
+def test_every_preexisting_gateway_key_still_recordable():
+    """Snapshot shape back-compat: the historical key spellings land in
+    the historical sections with the historical sub-keys."""
+    m = Metrics()
+    for name in GATEWAY_METRIC_KEYS:
+        if name.endswith(("_seconds", "_ratio")):
+            m.observe(name, 0.5)
+        elif name.endswith("_depth"):
+            m.gauge(name, 2)
+        else:
+            m.inc(name)
+    snap = m.snapshot()
+    assert set(snap) == {"counters", "gauges", "histograms"}
+    for name in GATEWAY_METRIC_KEYS:
+        if name.endswith(("_seconds", "_ratio")):
+            hist = snap["histograms"][name]
+            assert set(hist) == {"count", "sum", "mean", "min", "max",
+                                 "buckets"}
+            assert hist["count"] == 1
+        elif name.endswith("_depth"):
+            assert snap["gauges"][name] == {"last": 2, "max": 2}
+        else:
+            assert snap["counters"][name] == 1
+
+
+def test_gateway_keys_survive_into_prometheus_scrape():
+    from repro.obs.export import prometheus_text
+
+    m = Metrics()
+    for name in GATEWAY_METRIC_KEYS:
+        if not name.endswith(("_seconds", "_ratio", "_depth")):
+            m.inc(name)
+    text = prometheus_text(m.snapshot())
+    for name in GATEWAY_METRIC_KEYS:
+        if not name.endswith(("_seconds", "_ratio", "_depth")):
+            assert f"culzss_{name.replace('.', '_')} 1" in text

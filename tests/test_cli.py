@@ -186,3 +186,109 @@ def test_report_subcommand_writes_markdown(tmp_path, capsys):
     text = out_file.read_text()
     assert "Table I" in text and "⚓" in text
     assert "Highly Compr." in text
+
+
+# --------------------------------------------------- stats and trace
+
+def test_stats_formats(sample_file, capsys):
+    from repro import obs
+
+    obs.reset()
+    assert main(["stats", str(sample_file), "--format", "pretty"]) == 0
+    out = capsys.readouterr().out
+    assert "matcher.lag_calls" in out and "encode.match_seconds" in out
+
+    assert main(["stats", str(sample_file), "--format", "prom"]) == 0
+    out = capsys.readouterr().out
+    assert "culzss_matcher_lag_calls" in out
+    assert "culzss_encode_match_seconds_count" in out
+
+    import json
+
+    assert main(["stats", str(sample_file), "--format", "json"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["counters"]["container.crc_checks"] > 0
+    obs.reset()
+
+
+def test_stats_generates_dataset_when_no_input(capsys):
+    from repro import obs
+
+    obs.reset()
+    assert main(["stats", "--format", "json", "--size", "65536",
+                 "--dataset", "demap"]) == 0
+    import json
+
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["counters"]["container.crc_checks"] > 0
+    obs.reset()
+
+
+def test_stats_refuses_when_disabled(sample_file, capsys):
+    from repro import obs
+
+    obs.disable()
+    try:
+        assert main(["stats", str(sample_file)]) == 2
+    finally:
+        obs.enable()
+    assert "REPRO_OBS" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+def test_trace_writes_nested_chrome_trace(tmp_path, capsys):
+    """The acceptance trace: >= 3 layers — gateway frame over engine
+    shard over encoder stage — correctly parented in one trace id."""
+    import json
+
+    from repro import obs
+
+    big = tmp_path / "big.bin"
+    big.write_bytes(generate("cfiles", 640_000, seed=3))
+    out_file = tmp_path / "trace.json"
+    obs.reset()
+    try:
+        assert main(["trace", str(big), "--output", str(out_file),
+                     "--workers", "2"]) == 0
+    finally:
+        obs.reset()
+    stdout = capsys.readouterr().out
+    assert "spans over trace" in stdout
+
+    events = json.loads(out_file.read_text())["traceEvents"]
+    assert len({e["args"]["trace_id"] for e in events}) == 1
+    by_id = {e["args"]["span_id"]: e for e in events}
+
+    def ancestry(e):
+        names = []
+        while e is not None:
+            names.append(e["name"])
+            e = by_id.get(e["args"]["parent_id"])
+        return names
+
+    chains = [ancestry(e) for e in events if e["name"] == "encode.match"]
+    assert chains
+    for chain in chains:
+        assert "engine.shard" in chain and "gateway.frame" in chain
+        assert len(chain) >= 4
+
+
+def test_trace_small_file_notes_serial_path(sample_file, tmp_path, capsys):
+    from repro import obs
+
+    out_file = tmp_path / "small.trace.json"
+    obs.reset()
+    try:
+        assert main(["trace", str(sample_file), "--output", str(out_file),
+                     "--no-decode"]) == 0
+    finally:
+        obs.reset()
+    captured = capsys.readouterr()
+    assert "parallel threshold" in captured.err
+    assert out_file.exists()
+
+
+def test_serve_help_documents_metrics_port(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve", "--help"])
+    assert "--metrics-port" in capsys.readouterr().out

@@ -51,6 +51,16 @@ def test_tuning_sweep_rejects_unknown_dataset():
     assert proc.returncode != 0
 
 
+@pytest.mark.slow
+def test_observability():
+    out = run_example("observability.py")
+    assert "round trip" in out
+    assert "matcher.lag_calls" in out
+    assert "Prometheus exposition" in out
+    assert "chrome trace" in out
+    assert "span ring restored" in out
+
+
 def test_figure1_walkthrough():
     out = run_example("figure1_walkthrough.py")
     assert "I meant what I said" in out
