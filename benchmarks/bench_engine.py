@@ -6,7 +6,9 @@ share one entry point::
     PYTHONPATH=src python benchmarks/bench_engine.py            # full
     PYTHONPATH=src python benchmarks/bench_engine.py --quick    # CI lane
 
-Two measurements:
+Two measurements, both routed through the statistical harness
+(``benchmarks/harness.py``: warmup + repeats, median + IQR, honest
+environment fingerprint):
 
 * **engine** — `ParallelEngine.encode_chunked`/`decode_chunked`
   throughput per worker count, per dataset, at the requested buffer
@@ -17,38 +19,35 @@ Two measurements:
   recycled shared-memory slab, isolated with a no-op codec job so the
   numbers measure the transport, not the compressor.
 
-Results land in ``BENCH_engine.json`` at the repo root
-(machine-readable trajectory, one file overwritten per run) and
-``benchmarks/results/bench_engine.txt`` (human-readable).  The JSON
-records ``cpu_count``: parallel speedups are only observable when the
-host actually has the cores — on a single-core runner the worker sweep
-degenerates to "no slowdown from sharding", which is still a useful
-regression signal for the merge overhead.
+Results append to the ``BENCH_engine.json`` trajectory at the repo
+root (schema 2: ``{"schema": 2, "runs": [...]}``, newest run last,
+each with its git sha / cpu count / timestamp) and overwrite the
+human-readable ``benchmarks/results/bench_engine.txt``.  The
+``culzss benchgate`` regression gate compares against the newest
+committed run of the same mode.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
 import sys
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from time import perf_counter
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 import numpy as np  # noqa: E402
 
+from harness import bench_path, measure, publish, summarize  # noqa: E402
 from repro.datasets import generate  # noqa: E402
 from repro.engine import ParallelEngine, SlabPool  # noqa: E402
 from repro.lzss.encoder import encode_chunked  # noqa: E402
 from repro.lzss.formats import CUDA_V2  # noqa: E402
 
 RESULTS_DIR = Path(__file__).parent / "results"
-JSON_PATH = REPO_ROOT / "BENCH_engine.json"
 
 CHUNK_SIZE = 4096
 
@@ -72,121 +71,158 @@ def _slab_job(name: str, length: int) -> int:
     return length
 
 
-def bench_transport(frame_bytes: int, frames: int) -> list[dict]:
-    """A/B the pickle and slab transports through a 1-process pool."""
+def bench_transport(frame_bytes: int, frames: int,
+                    repeats: int) -> dict[str, dict]:
+    """A/B the pickle and slab transports through a 1-process pool.
+
+    One sample = one ``frames``-deep loop; per-frame numbers derive
+    from the median sample.
+    """
     payload = os.urandom(frame_bytes)
-    out = []
+    cases: dict[str, dict] = {}
     with ProcessPoolExecutor(max_workers=1) as pool:
         pool.submit(_pickle_job, b"warm").result()  # fork + import cost
 
-        t0 = perf_counter()
-        for _ in range(frames):
-            echoed = pool.submit(_pickle_job, payload).result()
-            assert len(echoed) == frame_bytes
-        pickle_s = perf_counter() - t0
-        out.append(_transport_row("pickle", frame_bytes, frames, pickle_s))
+        def pickle_loop() -> None:
+            for _ in range(frames):
+                echoed = pool.submit(_pickle_job, payload).result()
+                assert len(echoed) == frame_bytes
+
+        samples = measure(pickle_loop, repeats=repeats, warmup=1)
+        cases["transport.pickle"] = _transport_case(
+            samples, frame_bytes, frames)
 
         with SlabPool(slab_bytes=max(frame_bytes, 1 << 16)) as slabs:
             lease = slabs.acquire(frame_bytes)
             assert lease is not None
-            t0 = perf_counter()
-            for _ in range(frames):
-                lease.write(payload)
-                n = pool.submit(_slab_job, lease.name, frame_bytes).result()
-                assert lease.read(n) == payload
-            shm_s = perf_counter() - t0
+
+            def slab_loop() -> None:
+                for _ in range(frames):
+                    lease.write(payload)
+                    n = pool.submit(_slab_job, lease.name,
+                                    frame_bytes).result()
+                    assert lease.read(n) == payload
+
+            samples = measure(slab_loop, repeats=repeats, warmup=1)
             lease.release()
-        out.append(_transport_row("shm", frame_bytes, frames, shm_s))
-    out[1]["speedup_vs_pickle"] = round(pickle_s / shm_s, 3) if shm_s else None
-    return out
+        cases["transport.shm"] = _transport_case(
+            samples, frame_bytes, frames)
+    pickle_med = cases["transport.pickle"]["median_seconds"]
+    shm_med = cases["transport.shm"]["median_seconds"]
+    cases["transport.shm"]["speedup_vs_pickle"] = (
+        round(pickle_med / shm_med, 3) if shm_med else None)
+    return cases
 
 
-def _transport_row(mode: str, frame_bytes: int, frames: int,
-                   seconds: float) -> dict:
-    return {
-        "mode": mode,
-        "frame_bytes": frame_bytes,
-        "frames": frames,
-        "seconds": round(seconds, 6),
-        "per_frame_ms": round(1e3 * seconds / frames, 4),
-        "mb_s": round(frame_bytes * frames / seconds / 1e6, 2),
-    }
+def _transport_case(samples: list[float], frame_bytes: int,
+                    frames: int) -> dict:
+    import statistics
+
+    med = statistics.median(samples)
+    return summarize(
+        samples,
+        frame_bytes=frame_bytes,
+        frames=frames,
+        per_frame_ms=round(1e3 * med / frames, 4),
+        mb_s=round(frame_bytes * frames / med / 1e6, 2))
 
 
 # -------------------------------------------------------------- engine
 
 def bench_engine(datasets: list[str], size_bytes: int,
-                 workers_list: list[int]) -> list[dict]:
-    """Encode/decode throughput per worker count, identity-checked."""
-    rows = []
+                 workers_list: list[int],
+                 repeats: int) -> tuple[dict[str, dict], bool]:
+    """Encode/decode medians per worker count, identity-checked.
+
+    Returns (cases, all_identical); a parallel run whose bytes diverge
+    from the serial path invalidates the whole sweep.
+    """
+    cases: dict[str, dict] = {}
+    all_identical = True
     for dataset in datasets:
         data = np.frombuffer(generate(dataset, size_bytes, seed=7),
                              dtype=np.uint8)
         baseline = encode_chunked(data, CUDA_V2, CHUNK_SIZE)
-        base_encode_s = None
+        base_med = None
         for workers in workers_list:
             with ParallelEngine(workers=workers,
                                 min_parallel_bytes=0) as engine:
-                t0 = perf_counter()
+                enc = measure(
+                    lambda: engine.encode_chunked(data, CUDA_V2, CHUNK_SIZE),
+                    repeats=repeats, warmup=1)
                 result = engine.encode_chunked(data, CUDA_V2, CHUNK_SIZE)
-                encode_s = perf_counter() - t0
                 identical = (result.payload == baseline.payload
                              and np.array_equal(result.chunk_sizes,
                                                 baseline.chunk_sizes))
-                t0 = perf_counter()
+                dec = measure(
+                    lambda: engine.decode_chunked(
+                        result.payload, CUDA_V2, result.chunk_sizes,
+                        CHUNK_SIZE, result.input_size),
+                    repeats=repeats, warmup=1)
                 out = engine.decode_chunked(result.payload, CUDA_V2,
                                             result.chunk_sizes, CHUNK_SIZE,
                                             result.input_size)
-                decode_s = perf_counter() - t0
                 identical = identical and out == data.tobytes()
-            if base_encode_s is None:
-                base_encode_s = encode_s
-            rows.append({
-                "dataset": dataset,
-                "workers": workers,
-                "size_bytes": size_bytes,
-                "identical": bool(identical),
-                "encode_seconds": round(encode_s, 4),
-                "encode_mb_s": round(size_bytes / encode_s / 1e6, 3),
-                "decode_seconds": round(decode_s, 4),
-                "decode_mb_s": round(size_bytes / decode_s / 1e6, 3),
-                "speedup_vs_1": round(base_encode_s / encode_s, 3),
-            })
-    return rows
+            all_identical = all_identical and identical
+            import statistics
+
+            enc_med, dec_med = (statistics.median(enc),
+                                statistics.median(dec))
+            if base_med is None:
+                base_med = enc_med
+            key = f"{dataset}.w{workers}"
+            cases[f"{key}.encode"] = summarize(
+                enc,
+                mb_s=round(size_bytes / enc_med / 1e6, 3),
+                speedup_vs_1=round(base_med / enc_med, 3),
+                identical=bool(identical))
+            cases[f"{key}.decode"] = summarize(
+                dec, mb_s=round(size_bytes / dec_med / 1e6, 3))
+    return cases, all_identical
 
 
 # -------------------------------------------------------------- report
 
-def render(payload: dict) -> str:
-    meta = payload["meta"]
+def render(run: dict, all_identical: bool) -> str:
+    meta, params = run["meta"], run["params"]
     lines = [
         "bench_engine: multicore codec + shm transport",
-        f"  cpu_count={meta['cpu_count']}  quick={meta['quick']}  "
-        f"python={meta['python']}",
+        f"  mode={run['mode']}  cpu_count={meta['cpu_count']}  "
+        f"repeats={params['repeats']}  python={meta['python']}  "
+        f"git={meta.get('git_sha') or '?'}",
     ]
-    if meta["cpu_count"] < max(meta["workers"]):
+    if meta["cpu_count"] < max(params["workers"]):
         lines.append(
             f"  NOTE: only {meta['cpu_count']} core(s) available — "
             "worker sweeps cannot show parallel speedup on this host; "
             "treat speedup_vs_1 as a merge-overhead check.")
     lines.append("")
-    lines.append("  engine throughput (CUDA_V2 tokens, 4 KiB chunks):")
-    for r in payload["engine"]:
+    lines.append("  engine medians (CUDA_V2 tokens, 4 KiB chunks, "
+                 "IQR in brackets):")
+    for name, c in sorted(run["cases"].items()):
+        if name.startswith("transport."):
+            continue
+        tag = name.replace(".encode", " enc").replace(".decode", " dec")
+        extra = (f"  speedup x{c['speedup_vs_1']:.2f}"
+                 f"  identical={c['identical']}"
+                 if "speedup_vs_1" in c else "")
         lines.append(
-            f"    {r['dataset']:<12} workers={r['workers']}  "
-            f"encode {r['encode_mb_s']:7.3f} MB/s  "
-            f"decode {r['decode_mb_s']:7.2f} MB/s  "
-            f"speedup x{r['speedup_vs_1']:.2f}  "
-            f"identical={r['identical']}")
+            f"    {tag:<20} {c['median_seconds']*1e3:9.2f} ms "
+            f"[{c['iqr_low_seconds']*1e3:.2f}..{c['iqr_high_seconds']*1e3:.2f}]"
+            f"  {c['mb_s']:8.3f} MB/s{extra}")
     lines.append("")
     lines.append("  frame transport through a 1-process pool:")
-    for r in payload["transport"]:
-        extra = (f"  ({r['speedup_vs_pickle']}x vs pickle)"
-                 if "speedup_vs_pickle" in r else "")
+    for name in ("transport.pickle", "transport.shm"):
+        c = run["cases"][name]
+        extra = (f"  ({c['speedup_vs_pickle']}x vs pickle)"
+                 if c.get("speedup_vs_pickle") else "")
         lines.append(
-            f"    {r['mode']:<6} {r['frame_bytes']:>8} B x{r['frames']:<4} "
-            f"{r['per_frame_ms']:8.3f} ms/frame  "
-            f"{r['mb_s']:8.1f} MB/s{extra}")
+            f"    {name.split('.')[1]:<6} {c['frame_bytes']:>8} B "
+            f"x{c['frames']:<4} {c['per_frame_ms']:8.3f} ms/frame  "
+            f"{c['mb_s']:8.1f} MB/s{extra}")
+    if not all_identical:
+        lines.append("")
+        lines.append("  FAIL: parallel output diverged from the serial path")
     return "\n".join(lines)
 
 
@@ -197,14 +233,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--size-mb", type=float, default=None,
                         help="engine buffer size in MiB "
                              "(default 8, quick 0.25)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed repeats per case (default 5, quick 3)")
     parser.add_argument("--workers", default=None,
                         help="comma-separated worker counts "
                              "(default 1,2,4; quick 1,2)")
     parser.add_argument("--datasets", default=None,
                         help="comma-separated datasets "
                              "(default cfiles,demap; quick cfiles)")
-    parser.add_argument("--output", default=str(JSON_PATH),
-                        help="machine-readable output path")
+    parser.add_argument("--output", default=None,
+                        help="trajectory path (default BENCH_engine.json)")
     parser.add_argument("--trace", nargs="?", const="BENCH_engine.trace.json",
                         default=None, metavar="FILE",
                         help="capture repro.obs spans during the engine "
@@ -212,29 +250,16 @@ def main(argv: list[str] | None = None) -> int:
                              "(default FILE: BENCH_engine.trace.json)")
     args = parser.parse_args(argv)
 
+    mode = "quick" if args.quick else "full"
     size_mb = args.size_mb or (0.25 if args.quick else 8.0)
+    repeats = args.repeats or (3 if args.quick else 5)
     workers = [int(w) for w in
                (args.workers or ("1,2" if args.quick else "1,2,4")).split(",")]
     datasets = (args.datasets
                 or ("cfiles" if args.quick else "cfiles,demap")).split(",")
     size_bytes = int(size_mb * (1 << 20))
-    frame_bytes, frames = ((1 << 16, 32) if args.quick else (1 << 20, 64))
+    frame_bytes, frames = ((1 << 16, 16) if args.quick else (1 << 20, 32))
 
-    payload = {
-        "meta": {
-            "generated_by": "benchmarks/bench_engine.py",
-            "quick": args.quick,
-            "cpu_count": os.cpu_count() or 1,
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "size_bytes": size_bytes,
-            "workers": workers,
-            "datasets": datasets,
-            "chunk_size": CHUNK_SIZE,
-        },
-        "engine": None,
-        "transport": None,
-    }
     if args.trace:
         from repro import obs
         from repro.obs import trace as obs_trace
@@ -242,20 +267,28 @@ def main(argv: list[str] | None = None) -> int:
         obs_trace.clear()
         with obs_trace.span("bench.engine_sweep", trace_id=obs.new_trace_id(),
                             quick=args.quick):
-            payload["engine"] = bench_engine(datasets, size_bytes, workers)
+            cases, all_identical = bench_engine(datasets, size_bytes,
+                                                workers, repeats)
         trace_path = obs.write_chrome_trace(args.trace, obs_trace.spans())
         print(f"wrote {trace_path} ({len(obs_trace.spans())} spans)")
     else:
-        payload["engine"] = bench_engine(datasets, size_bytes, workers)
-    payload["transport"] = bench_transport(frame_bytes, frames)
+        cases, all_identical = bench_engine(datasets, size_bytes,
+                                            workers, repeats)
+    cases.update(bench_transport(frame_bytes, frames, repeats))
 
-    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
-    text = render(payload)
+    out_path = Path(args.output) if args.output else bench_path("engine")
+    run = publish("engine", mode, cases,
+                  params={"size_bytes": size_bytes, "repeats": repeats,
+                          "workers": workers, "datasets": datasets,
+                          "chunk_size": CHUNK_SIZE,
+                          "frame_bytes": frame_bytes, "frames": frames},
+                  path=out_path)
+    text = render(run, all_identical)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "bench_engine.txt").write_text(text + "\n")
     print(text)
-    print(f"\nwrote {args.output}")
-    if not all(r["identical"] for r in payload["engine"]):
+    print(f"\nappended run to {out_path}")
+    if not all_identical:
         print("FAIL: parallel output diverged from the serial path",
               file=sys.stderr)
         return 1

@@ -19,6 +19,7 @@ from time import perf_counter
 import pytest
 
 from benchmarks.conftest import report
+from benchmarks.harness import publish, summarize
 from repro.datasets import generate
 from repro.service import GatewayClient, GatewayServer, Metrics
 
@@ -88,6 +89,17 @@ def test_gateway_throughput(benchmark):
         lines.append(f"note: only {cores} core(s) available; worker "
                      "scaling needs as many cores as workers to show")
     report("gateway_throughput", "\n".join(lines))
+
+    # publish the sweep into the BENCH_gateway.json trajectory so runs
+    # are comparable across commits (honest single-sample entries: the
+    # summary records repeats=1, and the fingerprint says where it ran)
+    publish("gateway", "full",
+            {f"w{workers}.stream": summarize(
+                [elapsed], frames_per_s=round(fps, 1),
+                mb_s=round(mbps, 2), wire_bytes=wire)
+             for workers, elapsed, fps, mbps, wire in rows},
+            params={"frames": N_FRAMES, "frame_bytes": FRAME_BYTES,
+                    "kinds": list(KINDS)})
 
     # more workers must not lose frames or corrupt order (ack checked
     # inside _push); scaling should at least not regress wall time badly

@@ -1,0 +1,67 @@
+"""Shared entry point for the ``benchmarks/bench_*.py`` scripts.
+
+Routes every standalone benchmark through the statistical runner in
+:mod:`repro.bench.stats` so each published number carries repeats,
+median + IQR, and an environment fingerprint, and every
+``BENCH_<name>.json`` at the repo root is an append-only trajectory
+(schema 2) instead of a single overwritten run.
+
+Scripts use::
+
+    from harness import measure, summarize, publish
+
+    samples = measure(lambda: work(), repeats=5, warmup=1)
+    publish("engine", "full", {"encode": summarize(samples)},
+            params={"size_bytes": n})
+
+``publish`` appends to ``BENCH_<name>.json`` and returns the run dict;
+the regression gate (``culzss benchgate``) later compares fresh runs
+against the newest committed entry of the same mode.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.stats import (  # noqa: E402
+    SCHEMA_VERSION,
+    append_run,
+    fingerprint,
+    latest_run,
+    load_trajectory,
+    measure,
+    new_run,
+    summarize,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "append_run",
+    "bench_path",
+    "fingerprint",
+    "latest_run",
+    "load_trajectory",
+    "measure",
+    "new_run",
+    "publish",
+    "summarize",
+]
+
+
+def bench_path(name: str) -> Path:
+    """The repo-root trajectory file for benchmark ``name``."""
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def publish(name: str, mode: str, cases: dict, *,
+            params: dict | None = None, path: Path | None = None,
+            keep: int = 50) -> dict:
+    """Append one statistical run to ``BENCH_<name>.json``; return it."""
+    run = new_run(name, mode, cases, params=params, repo_root=REPO_ROOT)
+    append_run(path or bench_path(name), run, keep=keep)
+    return run

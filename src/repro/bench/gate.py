@@ -1,0 +1,202 @@
+"""``culzss benchgate`` — the benchmark regression gate.
+
+Measures the codec hot paths with the statistical harness
+(:mod:`repro.bench.stats`), compares the fresh medians against the
+newest comparable run in the committed ``BENCH_engine.json``
+trajectory, and fails (exit 1) on a regression.
+
+A *regression* needs two things at once:
+
+1. the fresh median exceeds the baseline median by more than
+   ``threshold_pct`` percent, **and**
+2. the two runs' interquartile ranges do not overlap.
+
+The second clause is the escape hatch for noisy hosts: when the IQRs
+overlap, the medians are within each other's observed spread at this
+sample size and the difference is indistinguishable from noise — a
+gate that fires there trains people to ignore it.
+
+The measured functions are looked up *dynamically* through their
+modules (``encoder.encode_chunked``, not a from-import), so the gate
+measures whatever is installed at call time — which is also what makes
+the gate testable: monkeypatch the module attribute with a slowed
+wrapper and the gate must fail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.stats import (
+    append_run,
+    latest_run,
+    load_trajectory,
+    measure,
+    new_run,
+    summarize,
+)
+
+__all__ = ["GATE_BENCH", "compare_runs", "gate_cases", "run_gate"]
+
+#: trajectory runs are tagged with this bench name so gate baselines
+#: and the bench_engine sweep coexist in one BENCH_engine.json without
+#: cross-matching each other's cases
+GATE_BENCH = "gate"
+CHUNK_SIZE = 4096
+
+#: per-mode workload: (buffer bytes, repeats, warmup).  Five repeats
+#: minimum: below four samples the IQR degrades to min/max and the
+#: overlap escape hatch loses its noise model.
+MODES = {
+    "quick": (128 << 10, 5, 1),
+    "full": (1 << 20, 5, 1),
+}
+
+
+# ----------------------------------------------------------- measuring
+
+def gate_cases(size_bytes: int, *, repeats: int, warmup: int = 1,
+               dataset: str = "cfiles") -> dict:
+    """Measure the gate's codec cases; returns name → summary dict.
+
+    Lookups go through the modules on every call so monkeypatched
+    implementations (tests) and reloaded code are what gets timed.
+    """
+    from repro.datasets import generate
+    from repro.lzss import decoder, encoder
+    from repro.lzss.formats import CUDA_V2
+
+    data = np.frombuffer(generate(dataset, size_bytes, seed=7),
+                         dtype=np.uint8)
+    cases: dict[str, dict] = {}
+
+    enc = measure(lambda: encoder.encode_chunked(data, CUDA_V2, CHUNK_SIZE),
+                  repeats=repeats, warmup=warmup)
+    result = encoder.encode_chunked(data, CUDA_V2, CHUNK_SIZE)
+    cases["encode_v2"] = summarize(
+        enc, mb_s=round(size_bytes / max(min(enc), 1e-9) / 1e6, 3))
+
+    dec = measure(
+        lambda: decoder.decode_chunked_with_stats(
+            result.payload, CUDA_V2, result.chunk_sizes, CHUNK_SIZE,
+            result.input_size),
+        repeats=repeats, warmup=warmup)
+    cases["decode_v2"] = summarize(
+        dec, mb_s=round(size_bytes / max(min(dec), 1e-9) / 1e6, 3))
+
+    from repro import container
+
+    blob = container.pack_container(result)
+    pack = measure(lambda: container.unpack_container(blob),
+                   repeats=repeats, warmup=warmup)
+    cases["container_unpack"] = summarize(pack)
+    return cases
+
+
+# ----------------------------------------------------------- comparing
+
+def _iqr_overlap(a: dict, b: dict) -> bool:
+    return (a["iqr_low_seconds"] <= b["iqr_high_seconds"]
+            and b["iqr_low_seconds"] <= a["iqr_high_seconds"])
+
+
+def compare_runs(baseline: dict, fresh: dict, *,
+                 threshold_pct: float = 25.0) -> dict:
+    """Judge ``fresh`` against ``baseline``; returns the gate report.
+
+    Cases present on only one side are reported but never fail the
+    gate (renames should not brick CI); a regression needs both the
+    median excursion and disjoint IQRs, per the module docstring.
+    """
+    report: dict = {"threshold_pct": threshold_pct, "cases": [],
+                    "regressions": [], "ok": True}
+    base_cases = baseline.get("cases", {})
+    fresh_cases = fresh.get("cases", {})
+    for name in sorted(set(base_cases) | set(fresh_cases)):
+        if name not in base_cases or name not in fresh_cases:
+            report["cases"].append({"name": name, "status": "unmatched"})
+            continue
+        b, f = base_cases[name], fresh_cases[name]
+        base_med, fresh_med = b["median_seconds"], f["median_seconds"]
+        change_pct = (100.0 * (fresh_med - base_med) / base_med
+                      if base_med else 0.0)
+        overlap = _iqr_overlap(b, f)
+        regressed = change_pct > threshold_pct and not overlap
+        entry = {
+            "name": name,
+            "status": "regression" if regressed else (
+                "noisy" if change_pct > threshold_pct else "ok"),
+            "baseline_median_seconds": base_med,
+            "fresh_median_seconds": fresh_med,
+            "change_pct": round(change_pct, 1),
+            "iqr_overlap": overlap,
+        }
+        report["cases"].append(entry)
+        if regressed:
+            report["regressions"].append(name)
+    report["ok"] = not report["regressions"]
+    return report
+
+
+def format_report(report: dict, baseline_meta: dict | None = None) -> str:
+    lines = ["benchgate: fresh run vs committed baseline "
+             f"(threshold {report['threshold_pct']:.0f}% median, "
+             "IQR-overlap escape hatch)"]
+    if baseline_meta:
+        lines.append(
+            f"  baseline: git {baseline_meta.get('git_sha') or '?'}  "
+            f"cpus={baseline_meta.get('cpu_count')}  "
+            f"python={baseline_meta.get('python')}")
+    for c in report["cases"]:
+        if c["status"] == "unmatched":
+            lines.append(f"  {c['name']:<18} (unmatched case; skipped)")
+            continue
+        mark = {"ok": "ok", "noisy": "ok (IQR overlap)",
+                "regression": "REGRESSION"}[c["status"]]
+        lines.append(
+            f"  {c['name']:<18} {c['baseline_median_seconds']*1e3:9.3f} ms"
+            f" -> {c['fresh_median_seconds']*1e3:9.3f} ms  "
+            f"({c['change_pct']:+6.1f}%)  {mark}")
+    lines.append("gate: " + ("PASS" if report["ok"] else
+                             f"FAIL ({', '.join(report['regressions'])})"))
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------- driving
+
+def run_gate(baseline_path, *, mode: str = "quick", update: bool = False,
+             threshold_pct: float = 25.0, size_bytes: int | None = None,
+             repeats: int | None = None,
+             out=print) -> int:
+    """The ``culzss benchgate`` entry point; returns the exit code.
+
+    ``update`` appends the fresh run to the trajectory instead of
+    judging it (how baselines are [re]generated).  Without a comparable
+    baseline the gate exits 2 with a hint — a missing baseline is a
+    setup problem, not a performance regression.
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {sorted(MODES)}")
+    mode_size, mode_repeats, warmup = MODES[mode]
+    size_bytes = size_bytes or mode_size
+    repeats = repeats or mode_repeats
+
+    cases = gate_cases(size_bytes, repeats=repeats, warmup=warmup)
+    fresh = new_run(GATE_BENCH, mode, cases,
+                    params={"size_bytes": size_bytes, "repeats": repeats,
+                            "chunk_size": CHUNK_SIZE})
+    if update:
+        append_run(baseline_path, fresh)
+        out(f"benchgate: appended {mode} baseline "
+            f"({len(cases)} cases) to {baseline_path}")
+        return 0
+
+    doc = load_trajectory(baseline_path)
+    baseline = latest_run(doc, mode=mode, bench=GATE_BENCH)
+    if baseline is None:
+        out(f"benchgate: no {mode!r} baseline in {baseline_path}; "
+            "run `culzss benchgate --update` on a known-good tree first")
+        return 2
+    report = compare_runs(baseline, fresh, threshold_pct=threshold_pct)
+    out(format_report(report, baseline.get("meta")))
+    return 0 if report["ok"] else 1

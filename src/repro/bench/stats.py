@@ -1,0 +1,187 @@
+"""Statistical benchmark runner: repeats, medians, honest trajectories.
+
+Every ``benchmarks/bench_*.py`` script measures through this module so
+the numbers it publishes mean the same thing everywhere:
+
+* :func:`measure` — warmup runs (discarded) followed by ``repeats``
+  timed calls; returns the raw samples, not an average, because a
+  single number hides the variance the regression gate needs.
+* :func:`summarize` — median + interquartile range.  The median
+  resists the one-off GC pause that wrecks a mean; the IQR is the
+  gate's noise model (two runs whose IQRs overlap are not "different"
+  at this sample size, whatever their medians say).
+* :func:`fingerprint` — the environment the numbers were taken in:
+  cpu count, python/numpy versions, git sha, wall-clock timestamp.
+  A trajectory entry without its fingerprint is a rumor.
+* :func:`append_run` / :func:`load_trajectory` — append-only
+  ``BENCH_<name>.json`` files: ``{"schema": 2, "runs": [...]}`` where
+  each run carries its fingerprint and per-case summaries.  Runs are
+  never overwritten; the newest comparable run is the gate baseline.
+
+The regression gate itself lives in :mod:`repro.bench.gate`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+from pathlib import Path
+from time import perf_counter, time as wall_time
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "append_run",
+    "fingerprint",
+    "load_trajectory",
+    "measure",
+    "new_run",
+    "summarize",
+]
+
+SCHEMA_VERSION = 2
+
+
+# ------------------------------------------------------------ measuring
+
+def measure(fn, *, repeats: int = 5, warmup: int = 1) -> list[float]:
+    """Time ``fn()`` ``repeats`` times after ``warmup`` discarded calls.
+
+    Returns the raw per-call seconds.  ``fn`` should do one unit of the
+    work being measured and nothing else (build inputs outside it).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(max(0, warmup)):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = perf_counter()
+        fn()
+        samples.append(perf_counter() - t0)
+    return samples
+
+
+def summarize(samples: list[float], **extra) -> dict:
+    """Median + IQR summary of raw samples, plus caller ``extra`` keys.
+
+    ``iqr_low``/``iqr_high`` are the 25th/75th percentiles; with fewer
+    than 4 samples they degrade to min/max (the honest thing: the
+    quartiles of 2 points are the points).
+    """
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    if len(ordered) >= 4:
+        q = statistics.quantiles(ordered, n=4, method="inclusive")
+        low, high = q[0], q[2]
+    else:
+        low, high = ordered[0], ordered[-1]
+    doc = {
+        "repeats": len(ordered),
+        "median_seconds": round(statistics.median(ordered), 6),
+        "iqr_low_seconds": round(low, 6),
+        "iqr_high_seconds": round(high, 6),
+        "min_seconds": round(ordered[0], 6),
+        "max_seconds": round(ordered[-1], 6),
+    }
+    doc.update(extra)
+    return doc
+
+
+# ---------------------------------------------------------- fingerprint
+
+def _git_sha(repo_root: Path | None = None) -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_root, capture_output=True, text=True, timeout=5)
+        return out.stdout.strip() or None if out.returncode == 0 else None
+    except OSError:
+        return None
+
+
+def fingerprint(repo_root: Path | None = None) -> dict:
+    """Where and when these numbers were taken."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dep today
+        numpy_version = None
+    return {
+        "timestamp": round(wall_time(), 3),
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "git_sha": _git_sha(repo_root),
+    }
+
+
+# ----------------------------------------------------------- trajectory
+
+def new_run(name: str, mode: str, cases: dict, *,
+            params: dict | None = None,
+            repo_root: Path | None = None) -> dict:
+    """Assemble one trajectory entry: fingerprint + workload + cases.
+
+    ``mode`` names the workload tier (``"quick"`` / ``"full"``); the
+    gate only compares runs of the same mode.  ``cases`` maps case name
+    to a :func:`summarize` dict.
+    """
+    return {
+        "bench": name,
+        "mode": mode,
+        "meta": fingerprint(repo_root),
+        "params": dict(params or {}),
+        "cases": dict(cases),
+    }
+
+
+def load_trajectory(path) -> dict:
+    """Read a ``BENCH_*.json`` trajectory; empty shell when missing.
+
+    Pre-schema-2 files (the old single-run overwrite format) are
+    treated as having no comparable runs rather than erroring, so the
+    first harness run after an upgrade simply starts the trajectory.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {"schema": SCHEMA_VERSION, "runs": []}
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {"schema": SCHEMA_VERSION, "runs": []}
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA_VERSION:
+        return {"schema": SCHEMA_VERSION, "runs": []}
+    doc.setdefault("runs", [])
+    return doc
+
+
+def append_run(path, run: dict, *, keep: int = 50) -> dict:
+    """Append ``run`` to the trajectory at ``path`` (append-only).
+
+    ``keep`` bounds the file: only the newest ``keep`` runs are
+    retained, oldest dropped first — a trajectory, not a landfill.
+    Returns the written document.
+    """
+    path = Path(path)
+    doc = load_trajectory(path)
+    doc["runs"].append(run)
+    doc["runs"] = doc["runs"][-keep:]
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+def latest_run(doc: dict, *, mode: str | None = None,
+               bench: str | None = None) -> dict | None:
+    """Newest run in a trajectory matching ``mode``/``bench`` filters."""
+    for run in reversed(doc.get("runs", [])):
+        if mode is not None and run.get("mode") != mode:
+            continue
+        if bench is not None and run.get("bench") != bench:
+            continue
+        return run
+    return None

@@ -17,6 +17,8 @@ Usage::
     culzss send       [INPUT ...] [--dataset KIND --count N] ...
     culzss stats      [INPUT] [--format {pretty,json,prom}] ...
     culzss trace      INPUT [--output FILE] [--workers N] ...
+    culzss benchgate  [--quick] [--update] [--threshold PCT]
+    culzss top        --port P [--plain] [--interval S]
 
 ``serve``/``send`` run the streaming gateway pair (`repro.service`):
 ``serve`` is the egress gateway (decompress + deliver), ``send`` the
@@ -32,6 +34,12 @@ engine shard stats) as a table, JSON, or Prometheus text; ``trace``
 compresses a file with span capture on and writes a chrome-trace JSON
 loadable in ``chrome://tracing`` / Perfetto.  ``serve
 --metrics-port P`` additionally exposes a live ``/metrics`` scrape.
+
+``benchgate`` runs the statistical codec benchmarks and fails (exit 1)
+on a median regression against the committed ``BENCH_engine.json``
+baseline; ``top`` is a live dashboard (curses, or ``--plain``) over a
+``serve --metrics-port`` sidecar, showing throughput, queue depths,
+latency quantiles, degraded-mode counters, and SLO state.
 
 ``--system`` selects any of the five evaluated systems (culzss-v1,
 culzss-v2, serial, pthread, bzip2); CULZSS/serial outputs are
@@ -204,6 +212,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service import GatewayServer, Metrics
 
+    if args.log_json:
+        from repro.obs import log as obslog
+
+        obslog.configure()
     metrics = Metrics()
     out_dir = Path(args.output_dir) if args.output_dir else None
     if out_dir:
@@ -287,6 +299,21 @@ def _cmd_send(args: argparse.Namespace) -> int:
     if args.metrics:
         _print_metrics(metrics)
     return 0
+
+
+def _cmd_benchgate(args: argparse.Namespace) -> int:
+    from repro.bench.gate import run_gate
+
+    return run_gate(Path(args.baseline),
+                    mode="quick" if args.quick else "full",
+                    update=args.update, threshold_pct=args.threshold)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+
+    return run_top(args.host, args.port, interval=args.interval,
+                   iterations=args.iterations, plain=args.plain)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -418,8 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the shared-memory frame transport "
                         "(pickle frames through the pool pipe instead)")
     p.add_argument("--metrics-port", type=int, default=None,
-                   help="serve Prometheus /metrics (and /metrics.json) on "
-                        "this sidecar port (0 picks a free one)")
+                   help="serve Prometheus /metrics (plus /metrics.json and "
+                        "/slo.json) on this sidecar port (0 picks a free "
+                        "one)")
+    p.add_argument("--log-json", action="store_true",
+                   help="emit structured JSON log lines (one per degraded "
+                        "event, trace-id correlated) on stderr")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("send", help="send buffers through an ingress gateway")
@@ -449,6 +480,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the shared-memory frame transport "
                         "(pickle frames through the pool pipe instead)")
     p.set_defaults(func=_cmd_send)
+
+    p = sub.add_parser("benchgate",
+                       help="statistical benchmark regression gate")
+    p.add_argument("--baseline", default="BENCH_engine.json",
+                   help="trajectory file holding the committed baseline")
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized workload (compares against the newest "
+                        "quick-mode baseline)")
+    p.add_argument("--update", action="store_true",
+                   help="append a fresh baseline run instead of judging "
+                        "(run on a known-good tree)")
+    p.add_argument("--threshold", type=float, default=25.0,
+                   help="median regression percentage that fails the gate "
+                        "(IQR overlap always passes)")
+    p.set_defaults(func=_cmd_benchgate)
+
+    p = sub.add_parser("top",
+                       help="live dashboard over a gateway metrics sidecar")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True,
+                   help="the gateway's --metrics-port")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="exit after N refreshes (default: run until ^C)")
+    p.add_argument("--plain", action="store_true",
+                   help="print refresh blocks instead of the curses UI")
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser("stats",
                        help="run a round trip and print the obs registry")

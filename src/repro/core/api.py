@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
+from repro.obs import log as obslog
 from repro.container import pack_container, unpack_container
 from repro.core.decompress import GpuDecompressor
 from repro.core.library import get_library
@@ -187,6 +188,10 @@ def gpu_decompress(blob, params: CompressionParams | None = None,
                 info.payload, info.format, info.chunk_sizes, info.chunk_size,
                 info.original_size, chunk_crcs=info.chunk_crcs,
                 fill_byte=fill_byte)
+            obslog.event("container", "salvage",
+                         recovered=len(report.recovered),
+                         lost=len(report.lost),
+                         n_chunks=report.n_chunks)
         else:
             decode = (engine.decode_chunked_with_stats if engine is not None
                       else decode_chunked_with_stats)

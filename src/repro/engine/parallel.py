@@ -38,6 +38,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import WorkerCrashError
+from repro.obs import log as obslog
 from repro.obs import trace
 from repro.lzss.decoder import (
     SalvageReport,
@@ -208,6 +209,7 @@ class ParallelEngine:
         """
         self.counters["worker_crashes"] += 1
         obs.inc("engine.worker_crashes")
+        obslog.event("engine", "worker_crash", workers=self.workers)
         with self._lock:
             if self._pool is broken:
                 self._pool = None
@@ -268,6 +270,7 @@ class ParallelEngine:
                     self._note_crash(pool)
                 self.counters["serial_fallbacks"] += 1
                 obs.inc("engine.serial_fallbacks")
+                obslog.event("engine", "serial_fallback", shard=i)
                 with obs.stage("engine.shard", shard=i, fallback=True):
                     res = fn(*args, **kwargs)
             results.append(res)

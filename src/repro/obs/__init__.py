@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import os
 
-from repro.obs import export, trace
+from repro.obs import export, log, slo, trace
 from repro.obs.export import (
     chrome_trace,
     format_pretty,
@@ -57,12 +57,14 @@ __all__ = [
     "get_registry",
     "inc",
     "json_text",
+    "log",
     "merge_delta",
     "merge_snapshots",
     "new_trace_id",
     "observe",
     "prometheus_text",
     "reset",
+    "slo",
     "span",
     "stage",
     "trace",

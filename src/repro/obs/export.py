@@ -43,6 +43,22 @@ def _sanitize(name: str, prefix: str) -> str:
     return out if not out[0].isdigit() else "_" + out
 
 
+def _escape_help(text: str) -> str:
+    """v0.0.4 HELP escaping: backslash and line feed.
+
+    Metric names are code-authored today, but HELP text embeds them
+    verbatim — one stray newline would otherwise split the line and
+    corrupt the whole exposition for every scraper.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    """v0.0.4 label-value escaping: backslash, double-quote, line feed."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def merge_snapshots(*snapshots: dict) -> dict:
     """Combine registry snapshots: counters add, gauges high-water,
     histograms merge bucket-wise."""
@@ -81,26 +97,31 @@ def prometheus_text(snapshot: dict, prefix: str = "culzss_") -> str:
     lines: list[str] = []
     for name in sorted(snapshot.get("counters", {})):
         m = _sanitize(name, prefix)
-        lines += [f"# HELP {m} counter {name}",
+        lines += [f"# HELP {m} counter {_escape_help(name)}",
                   f"# TYPE {m} counter",
                   f"{m} {snapshot['counters'][name]}"]
     for name in sorted(snapshot.get("gauges", {})):
         g = snapshot["gauges"][name]
         m = _sanitize(name, prefix)
-        lines += [f"# HELP {m} gauge {name} (last reading / high water)",
+        lines += [f"# HELP {m} gauge {_escape_help(name)} "
+                  "(last reading / high water)",
                   f"# TYPE {m}_last gauge", f"{m}_last {g['last']}",
                   f"# TYPE {m}_max gauge", f"{m}_max {g['max']}"]
     for name in sorted(snapshot.get("histograms", {})):
         h = snapshot["histograms"][name]
         m = _sanitize(name, prefix)
-        lines += [f"# HELP {m} histogram {name}",
+        lines += [f"# HELP {m} histogram {_escape_help(name)}",
                   f"# TYPE {m} histogram"]
         cum = 0
-        for bucket in sorted(h["buckets"],
+        for bucket in sorted(h.get("buckets", {}),
                              key=lambda b: int(_BUCKET_RE.match(b).group(1))):
             exp = int(_BUCKET_RE.match(bucket).group(1))
             cum += h["buckets"][bucket]
-            lines.append(f'{m}_bucket{{le="{2.0 ** exp:g}"}} {cum}')
+            le = _escape_label(f"{2.0 ** exp:g}")
+            lines.append(f'{m}_bucket{{le="{le}"}} {cum}')
+        # _sum/_count (and the +Inf bucket) are emitted even for an
+        # empty histogram: scrapers need the series to exist before the
+        # first observation or rate() windows start with gaps.
         lines.append(f'{m}_bucket{{le="+Inf"}} {h["count"]}')
         lines.append(f"{m}_sum {h['sum']}")
         lines.append(f"{m}_count {h['count']}")

@@ -28,7 +28,9 @@ from dataclasses import dataclass
 from typing import Awaitable, Callable
 
 from repro import obs
+from repro.obs import log as obslog
 from repro.obs.export import json_text, merge_snapshots, prometheus_text
+from repro.obs.slo import SloMonitor
 from repro.service.metrics import Metrics
 from repro.service.pipeline import EgressPipeline, IngressPipeline
 from repro.service.protocol import (
@@ -70,6 +72,8 @@ async def retry_with_backoff(fn: Callable[[], Awaitable], *,
         except transient:
             if metrics is not None:
                 metrics.inc(f"retry.{name}")
+            obslog.warn_limited("service", "retry", op=name,
+                                attempt=attempt, retries=retries)
             if attempt == retries:
                 raise
             await asyncio.sleep(delay)
@@ -127,8 +131,9 @@ class GatewayServer:
     decode pool (default: automatic — on whenever ``workers > 0``).
 
     ``metrics_port`` opens a sidecar HTTP listener on the same host
-    serving ``GET /metrics`` (Prometheus text exposition) and
-    ``GET /metrics.json`` (the same snapshot as JSON).  The scrape is
+    serving ``GET /metrics`` (Prometheus text exposition),
+    ``GET /metrics.json`` (the same snapshot as JSON), and
+    ``GET /slo.json`` (the SLO monitor's judgement).  The scrape is
     the union of the gateway's own :class:`Metrics` registry and the
     process-global :mod:`repro.obs` registry, so gateway counters and
     codec-layer counters (matcher probes, encoder stage timings,
@@ -136,6 +141,19 @@ class GatewayServer:
     ``0`` to bind an ephemeral port (read it back from
     ``metrics_port`` after :meth:`start`); ``None`` (the default)
     disables the sidecar.
+
+    Every sidecar request is bounded by ``metrics_timeout`` seconds end
+    to end, the body renders in a worker thread (a big registry cannot
+    stall the event loop mid-scrape), and unknown paths get a plain
+    404 — concurrent scrapers see slow responses at worst, never hangs
+    or tracebacks.
+
+    ``slo`` injects a preconfigured :class:`repro.obs.slo.SloMonitor`;
+    by default the sidecar builds one over
+    :func:`repro.obs.slo.default_objectives`.  The monitor samples on
+    every scrape (the Prometheus cadence is the sampling cadence) and
+    its judgement lands both in ``/slo.json`` and as ``culzss_slo_*``
+    gauges in ``/metrics``.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
@@ -143,6 +161,8 @@ class GatewayServer:
                  timeout: float = 30.0, metrics: Metrics | None = None,
                  use_shm: bool | None = None,
                  metrics_port: int | None = None,
+                 metrics_timeout: float = 2.0,
+                 slo: SloMonitor | None = None,
                  deliver: Callable[[int, int, bytes], Awaitable[None]]
                  | None = None) -> None:
         self.host = host
@@ -153,6 +173,8 @@ class GatewayServer:
         self.timeout = timeout
         self.metrics = metrics or Metrics()
         self.metrics_port = metrics_port
+        self.metrics_timeout = metrics_timeout
+        self.slo = slo if slo is not None else SloMonitor()
         self._deliver = deliver
         self._server: asyncio.AbstractServer | None = None
         self._metrics_server: asyncio.AbstractServer | None = None
@@ -175,48 +197,81 @@ class GatewayServer:
         return merge_snapshots(obs.get_registry().snapshot(),
                                self.metrics.snapshot())
 
+    def _render_sidecar(self, path: str) -> tuple[str, str, bytes]:
+        """Build one sidecar response; runs in a worker thread.
+
+        Snapshotting and rendering are pure CPU over locked registries,
+        so moving them off the event loop keeps frame traffic flowing
+        while a (possibly huge) scrape serializes.  SLO sampling rides
+        the scrape: every request feeds the monitor one observation and
+        refreshes the ``slo.*`` gauges *before* the served snapshot is
+        taken, so the scrape that detects a breach also reports it.
+        """
+        path = path.split("?", 1)[0]
+        if path not in ("/metrics", "/metrics.json", "/slo.json"):
+            return ("404 Not Found", "text/plain",
+                    b"try /metrics, /metrics.json or /slo.json\n")
+        report = self.slo.record_gauges(self.metrics,
+                                        snapshot=self.metrics_snapshot())
+        if path == "/slo.json":
+            import json
+
+            return ("200 OK", "application/json",
+                    (json.dumps(report, indent=2) + "\n").encode())
+        snap = self.metrics_snapshot()  # re-taken: includes slo gauges
+        if path == "/metrics":
+            return ("200 OK", "text/plain; version=0.0.4",
+                    prometheus_text(snap).encode())
+        return "200 OK", "application/json", json_text(snap).encode()
+
     async def _on_metrics_connection(self, reader: asyncio.StreamReader,
                                      writer: asyncio.StreamWriter) -> None:
         """One-shot HTTP/1.0 exchange: parse the request line, respond.
 
         Deliberately minimal — no keep-alive, no chunked bodies; it
         exists for ``curl`` and Prometheus scrapers, both of which are
-        happy with connection-close semantics.
+        happy with connection-close semantics.  The whole exchange is
+        bounded by ``metrics_timeout`` seconds and any failure closes
+        the connection without touching the listener, so a stuck or
+        malicious scraper costs one socket, never the sidecar.
         """
-        try:
-            request = await asyncio.wait_for(reader.readline(), self.timeout)
+
+        async def exchange() -> None:
+            request = await reader.readline()
             parts = request.decode("latin-1", "replace").split()
             path = parts[1] if len(parts) >= 2 else ""
             # Drain the remaining request headers up to the blank line.
             while True:
-                line = await asyncio.wait_for(reader.readline(),
-                                              self.timeout)
+                line = await reader.readline()
                 if line in (b"", b"\r\n", b"\n"):
                     break
-            snap = self.metrics_snapshot()
-            if path.split("?", 1)[0] == "/metrics":
-                status, ctype = "200 OK", "text/plain; version=0.0.4"
-                body = prometheus_text(snap).encode()
-            elif path.split("?", 1)[0] == "/metrics.json":
-                status, ctype = "200 OK", "application/json"
-                body = json_text(snap).encode()
-            else:
-                status, ctype = "404 Not Found", "text/plain"
-                body = b"try /metrics or /metrics.json\n"
+            loop = asyncio.get_running_loop()
+            status, ctype, body = await loop.run_in_executor(
+                None, self._render_sidecar, path)
             writer.write(
                 f"HTTP/1.0 {status}\r\n"
                 f"Content-Type: {ctype}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n".encode() + body)
             await writer.drain()
+
+        try:
+            await asyncio.wait_for(exchange(), self.metrics_timeout)
         except (ConnectionError, OSError, asyncio.TimeoutError,
                 TimeoutError):
             pass
+        except Exception as exc:  # a render bug must not kill the sidecar
+            obslog.event("service", "sidecar_error",
+                         exc_type=type(exc).__name__, exc=str(exc))
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # CancelledError lands here when the server closes while
+                # an exchange is in flight; the coroutine ends on the
+                # next line either way, so swallowing it only silences
+                # the event loop's "exception never retrieved" noise.
                 pass
 
     async def __aenter__(self) -> "GatewayServer":
@@ -276,6 +331,8 @@ class GatewayServer:
                 TimeoutError) as exc:
             m.inc("server.connection_errors")
             m.inc(f"server.errors.{type(exc).__name__}")
+            obslog.event("service", "connection_error",
+                         exc_type=type(exc).__name__, exc=str(exc))
         finally:
             writer.close()
             try:

@@ -42,6 +42,7 @@ from typing import AsyncIterator, Awaitable, Callable, Iterable
 
 from repro import obs
 from repro.errors import WorkerCrashError
+from repro.obs import log as obslog
 from repro.obs import trace
 from repro.service.metrics import Metrics
 from repro.service.protocol import FLAG_RAW, FRAME_HEADER_SIZE, Frame
@@ -172,7 +173,7 @@ class _PooledStage:
             self._executor = ProcessPoolExecutor(max_workers=self.workers)
         return self._executor
 
-    def _crashed(self, stage: str) -> None:
+    def _crashed(self, stage: str, trace_id: int = 0) -> None:
         """A worker died: count it and rebuild the pool (at most once).
 
         A ``BrokenProcessPool`` poisons every pending future, so the
@@ -184,6 +185,9 @@ class _PooledStage:
         caller owns them); their frames just fall back serially.
         """
         self.metrics.inc(f"{stage}.worker_crashes")
+        obslog.event("service", "worker_crash", stage=stage,
+                     trace_id=trace_id,
+                     pool_rebuilt_before=self._pool_rebuilt)
         if not self._owns_executor or self._executor is None:
             return
         broken, self._executor = self._executor, None
@@ -298,6 +302,9 @@ class IngressPipeline(_PooledStage):
                     return fut, lease
                 if slabs is not None:
                     m.inc("ingress.shm_fallbacks")
+                    obslog.warn_limited("service", "shm_fallback",
+                                        stage="ingress", trace_id=tid,
+                                        size=len(data))
                 if traced:
                     return loop.run_in_executor(
                         self._pool(), encode_payload_obs, data,
@@ -307,13 +314,15 @@ class IngressPipeline(_PooledStage):
             except _CRASH_ERRORS:
                 if lease is not None:
                     lease.release()
-                self._crashed("ingress")
+                self._crashed("ingress", tid)
             try:
                 return loop.run_in_executor(self._pool(), self._job, data,
                                             self.version), None
             except _CRASH_ERRORS:
-                self._crashed("ingress")
+                self._crashed("ingress", tid)
                 m.inc("ingress.serial_fallbacks")
+                obslog.event("service", "serial_fallback", stage="ingress",
+                             trace_id=tid, at="submit")
                 return loop.run_in_executor(None, self._job, data,
                                             self.version), None
 
@@ -352,8 +361,11 @@ class IngressPipeline(_PooledStage):
                         if lease is not None:
                             lease.release()
                             lease = None
-                        self._crashed("ingress")
+                        self._crashed("ingress", tid)
                         m.inc("ingress.serial_fallbacks")
+                        obslog.event("service", "serial_fallback",
+                                     stage="ingress", trace_id=tid,
+                                     at="result", seq=seq)
                         out = await loop.run_in_executor(
                             None, self._job, data, self.version)
                 finally:
@@ -461,6 +473,10 @@ class EgressPipeline(_PooledStage):
                     return fut, lease
                 if slabs is not None:
                     m.inc("egress.shm_fallbacks")
+                    obslog.warn_limited("service", "shm_fallback",
+                                        stage="egress",
+                                        trace_id=frame.trace_id,
+                                        size=len(frame.payload))
                 if traced:
                     return loop.run_in_executor(
                         self._pool(), decode_payload_obs, frame.flags,
@@ -470,13 +486,15 @@ class EgressPipeline(_PooledStage):
             except _CRASH_ERRORS:
                 if lease is not None:
                     lease.release()
-                self._crashed("egress")
+                self._crashed("egress", frame.trace_id)
             try:
                 return loop.run_in_executor(self._pool(), self._job,
                                             frame.flags, frame.payload), None
             except _CRASH_ERRORS:
-                self._crashed("egress")
+                self._crashed("egress", frame.trace_id)
                 m.inc("egress.serial_fallbacks")
+                obslog.event("service", "serial_fallback", stage="egress",
+                             trace_id=frame.trace_id, at="submit")
                 return loop.run_in_executor(None, self._job, frame.flags,
                                             frame.payload), None
 
@@ -511,8 +529,12 @@ class EgressPipeline(_PooledStage):
                         if lease is not None:
                             lease.release()
                             lease = None
-                        self._crashed("egress")
+                        self._crashed("egress", frame.trace_id)
                         m.inc("egress.serial_fallbacks")
+                        obslog.event("service", "serial_fallback",
+                                     stage="egress",
+                                     trace_id=frame.trace_id,
+                                     at="result", seq=frame.seq)
                         res = await loop.run_in_executor(
                             None, self._job, frame.flags, frame.payload)
                 finally:

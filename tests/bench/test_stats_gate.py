@@ -1,0 +1,174 @@
+"""Statistical bench harness + ``culzss benchgate`` regression gate."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.bench import gate, stats
+
+
+# ------------------------------------------------------------- stats
+
+def test_measure_runs_warmup_then_repeats():
+    calls = []
+    samples = stats.measure(lambda: calls.append(1), repeats=4, warmup=2)
+    assert len(samples) == 4
+    assert len(calls) == 6
+    assert all(s >= 0 for s in samples)
+    with pytest.raises(ValueError):
+        stats.measure(lambda: None, repeats=0)
+
+
+def test_summarize_median_and_iqr():
+    s = stats.summarize([0.4, 0.1, 0.2, 0.3], mb_s=12.5)
+    assert s["repeats"] == 4
+    assert s["median_seconds"] == pytest.approx(0.25)
+    assert s["iqr_low_seconds"] <= s["median_seconds"] <= s["iqr_high_seconds"]
+    assert s["min_seconds"] == 0.1 and s["max_seconds"] == 0.4
+    assert s["mb_s"] == 12.5
+
+
+def test_summarize_few_samples_degrades_to_min_max():
+    s = stats.summarize([0.2, 0.1])
+    assert s["iqr_low_seconds"] == 0.1
+    assert s["iqr_high_seconds"] == 0.2
+    with pytest.raises(ValueError):
+        stats.summarize([])
+
+
+def test_fingerprint_is_honest():
+    fp = stats.fingerprint()
+    assert fp["cpu_count"] == (os.cpu_count() or 1)
+    assert abs(fp["timestamp"] - time.time()) < 60
+    assert fp["python"].count(".") == 2
+    assert fp["git_sha"]  # tests run inside the repo
+
+
+def test_trajectory_append_only_and_bounded(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    for i in range(5):
+        run = stats.new_run("x", "quick", {"case": stats.summarize([0.1])},
+                            params={"i": i})
+        stats.append_run(path, run, keep=3)
+    doc = stats.load_trajectory(path)
+    assert doc["schema"] == stats.SCHEMA_VERSION
+    assert [r["params"]["i"] for r in doc["runs"]] == [2, 3, 4]
+    latest = stats.latest_run(doc, mode="quick", bench="x")
+    assert latest["params"]["i"] == 4
+    assert stats.latest_run(doc, mode="full") is None
+
+
+def test_load_trajectory_tolerates_legacy_and_garbage(tmp_path):
+    legacy = tmp_path / "old.json"
+    legacy.write_text(json.dumps({"meta": {"cpu_count": 1}, "engine": []}))
+    assert stats.load_trajectory(legacy)["runs"] == []
+    garbage = tmp_path / "bad.json"
+    garbage.write_text("{not json")
+    assert stats.load_trajectory(garbage)["runs"] == []
+    assert stats.load_trajectory(tmp_path / "missing.json")["runs"] == []
+
+
+# ----------------------------------------------------------- compare
+
+def case(median: float, lo: float, hi: float) -> dict:
+    return {"repeats": 5, "median_seconds": median,
+            "iqr_low_seconds": lo, "iqr_high_seconds": hi,
+            "min_seconds": lo, "max_seconds": hi}
+
+
+def test_compare_flags_disjoint_regression():
+    base = {"cases": {"enc": case(0.100, 0.098, 0.102)}}
+    fresh = {"cases": {"enc": case(0.200, 0.195, 0.205)}}
+    report = gate.compare_runs(base, fresh, threshold_pct=25.0)
+    assert not report["ok"]
+    assert report["regressions"] == ["enc"]
+    assert report["cases"][0]["change_pct"] == pytest.approx(100.0)
+
+
+def test_compare_iqr_overlap_is_the_escape_hatch():
+    # median +60% but spreads overlap: noisy host, not a regression
+    base = {"cases": {"enc": case(0.100, 0.090, 0.180)}}
+    fresh = {"cases": {"enc": case(0.160, 0.150, 0.300)}}
+    report = gate.compare_runs(base, fresh, threshold_pct=25.0)
+    assert report["ok"]
+    assert report["cases"][0]["status"] == "noisy"
+
+
+def test_compare_improvement_and_unmatched_pass():
+    base = {"cases": {"enc": case(0.2, 0.19, 0.21),
+                      "gone": case(0.1, 0.09, 0.11)}}
+    fresh = {"cases": {"enc": case(0.1, 0.09, 0.11),
+                       "new": case(0.1, 0.09, 0.11)}}
+    report = gate.compare_runs(base, fresh)
+    assert report["ok"]
+    statuses = {c["name"]: c["status"] for c in report["cases"]}
+    assert statuses == {"enc": "ok", "gone": "unmatched",
+                       "new": "unmatched"}
+
+
+# ---------------------------------------------------- gate end-to-end
+
+SIZE, REPEATS = 16_000, 4
+
+
+def test_gate_passes_on_unchanged_tree(tmp_path):
+    path = tmp_path / "BENCH_engine.json"
+    assert gate.run_gate(path, mode="quick", update=True,
+                         size_bytes=SIZE, repeats=REPEATS,
+                         out=lambda *a: None) == 0
+    # generous threshold: this asserts the wiring (same tree gates
+    # green), not the sensitivity, which sub-ms cases would flake
+    assert gate.run_gate(path, mode="quick", size_bytes=SIZE,
+                         repeats=REPEATS, threshold_pct=150.0,
+                         out=lambda *a: None) == 0
+
+
+def test_gate_fails_on_injected_encode_slowdown(tmp_path, monkeypatch):
+    from repro.lzss import encoder
+
+    path = tmp_path / "BENCH_engine.json"
+    assert gate.run_gate(path, mode="quick", update=True,
+                         size_bytes=SIZE, repeats=REPEATS,
+                         out=lambda *a: None) == 0
+    real = encoder.encode_chunked
+
+    def slowed(*args, **kwargs):
+        time.sleep(0.2)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(encoder, "encode_chunked", slowed)
+    lines: list[str] = []
+    assert gate.run_gate(path, mode="quick", size_bytes=SIZE,
+                         repeats=REPEATS, out=lines.append) == 1
+    text = "\n".join(lines)
+    assert "REGRESSION" in text and "encode_v2" in text
+
+
+def test_gate_without_baseline_exits_two(tmp_path):
+    lines: list[str] = []
+    rc = gate.run_gate(tmp_path / "missing.json", mode="quick",
+                       size_bytes=SIZE, repeats=REPEATS, out=lines.append)
+    assert rc == 2
+    assert "--update" in "\n".join(lines)
+
+
+def test_gate_rejects_unknown_mode(tmp_path):
+    with pytest.raises(ValueError):
+        gate.run_gate(tmp_path / "x.json", mode="nightly")
+
+
+@pytest.mark.slow
+def test_cli_benchgate_wires_through(tmp_path, capsys):
+    """The CLI path at the real quick workload: update then judge."""
+    from repro.cli import main
+
+    baseline = tmp_path / "BENCH_engine.json"
+    assert main(["benchgate", "--quick", "--update",
+                 "--baseline", str(baseline)]) == 0
+    rc = main(["benchgate", "--quick", "--baseline", str(baseline)])
+    assert rc == 0
+    assert "gate: PASS" in capsys.readouterr().out

@@ -68,6 +68,31 @@ def test_prometheus_preregistered_schema_always_scrapeable():
         assert f"culzss_{key.replace('.', '_')}_count 0" in text
 
 
+def test_prometheus_help_escapes_backslash_and_newline():
+    """A hostile metric name must not tear the exposition: v0.0.4 says
+    HELP text escapes backslash and line feed."""
+    reg = MetricRegistry()
+    reg.inc("weird.name\nwith\\newline", 1)
+    text = prometheus_text(reg.snapshot())
+    for line in text.splitlines():
+        if line.startswith("# HELP") and "weird" in line:
+            assert "\\n" in line and "\\\\" in line
+            break
+    else:  # pragma: no cover - the metric must appear
+        raise AssertionError("weird metric missing from exposition")
+    # every line still parses as exactly one exposition line
+    for line in text.splitlines():
+        assert line.startswith(("#", "culzss_", "_"))
+
+
+def test_prometheus_empty_histogram_still_emits_sum_count_inf():
+    reg = MetricRegistry(preregister_histograms=("quiet.hist_seconds",))
+    text = prometheus_text(reg.snapshot())
+    assert 'culzss_quiet_hist_seconds_bucket{le="+Inf"} 0' in text
+    assert "culzss_quiet_hist_seconds_sum 0" in text
+    assert "culzss_quiet_hist_seconds_count 0" in text
+
+
 def test_json_round_trips():
     snap = _sample_registry().snapshot()
     assert json.loads(json_text(snap)) == json.loads(json_text(snap))

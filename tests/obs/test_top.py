@@ -1,0 +1,83 @@
+"""``culzss top`` dashboard: layout, rates, degraded sidecar handling."""
+
+from __future__ import annotations
+
+from repro.obs.registry import Histogram
+from repro.obs.top import fetch_json, render, run_top
+
+
+def snapshot(counters=None, gauges=None, histograms=None) -> dict:
+    return {"counters": counters or {},
+            "gauges": {k: {"last": v, "max": v}
+                       for k, v in (gauges or {}).items()},
+            "histograms": histograms or {}}
+
+
+def test_render_without_sidecar_shows_waiting_banner():
+    text = render(None, None)
+    assert "waiting for sidecar" in text
+    assert "culzss top" in text
+
+
+def test_render_full_frame_sections():
+    h = Histogram()
+    for v in [0.002] * 99 + [0.6]:
+        h.record(v)
+    snap = snapshot(
+        counters={"ingress.bytes_in": 4_000_000, "ingress.bytes_out": 1_000,
+                  "ingress.frames_out": 40, "server.connections": 3,
+                  "server.frames_delivered": 40,
+                  "server.bytes_delivered": 4_000_000,
+                  "ingress.worker_crashes": 2, "egress.serial_fallbacks": 1,
+                  "server.connection_errors": 4,
+                  "container.salvage_chunks_lost": 5},
+        gauges={"ingress.queue_depth": 6},
+        histograms={"egress.stage_wait_seconds": h.snapshot()})
+    slo_report = {"objectives": [
+        {"name": "frame_p99_seconds", "ok": False, "alerting": True,
+         "bad_fraction": 0.01,
+         "windows": {"60s": {"burn": 5.2}, "600s": {"burn": 3.1}}},
+        {"name": "error_rate", "ok": True, "alerting": False,
+         "bad_fraction": 0.0, "windows": {"60s": {"burn": None}}},
+    ]}
+    text = render(snap, slo_report)
+    assert "throughput" in text
+    assert "ingress" in text and "egress" in text
+    assert "depth   6" in text
+    assert "p99" in text and "p50" in text
+    assert "crashes     2" in text
+    assert "serial-fallbacks     1" in text
+    assert "conn-errors     4" in text
+    assert "salvage-lost     5" in text
+    assert "frame_p99_seconds" in text and "ALERT" in text
+    assert "error_rate" in text and "ok" in text
+    assert "60s:5.2" in text
+
+
+def test_render_rates_diff_against_previous_poll():
+    prev = snapshot(counters={"ingress.bytes_in": 1_000_000})
+    cur = snapshot(counters={"ingress.bytes_in": 3_000_000})
+    text = render(cur, None, prev=prev, dt=2.0)
+    # (3e6 - 1e6) / 2s = 1 MB/s
+    assert "in  1000.0 KB/s" in text or "in     1.0 MB/s" in text
+
+
+def test_render_counter_reset_clamps_rate_to_zero():
+    prev = snapshot(counters={"ingress.bytes_in": 9_000_000})
+    cur = snapshot(counters={"ingress.bytes_in": 100})  # gateway restarted
+    text = render(cur, None, prev=prev, dt=2.0)
+    assert "-" not in text.split("throughput")[1].split("served")[0] \
+        .replace("frames/s", "").replace("/s", "")
+
+
+def test_fetch_json_unreachable_port_is_none():
+    assert fetch_json("127.0.0.1", 1, "/metrics.json", timeout=0.2) is None
+
+
+def test_run_top_plain_survives_missing_sidecar():
+    out: list[str] = []
+    rc = run_top("127.0.0.1", 1, interval=0.0, iterations=2, plain=True,
+                 out=out.append)
+    assert rc == 0
+    text = "\n".join(out)
+    assert text.count("waiting for sidecar") == 2
