@@ -36,12 +36,17 @@ from repro.bench.stats import (
     summarize,
 )
 
-__all__ = ["GATE_BENCH", "compare_runs", "gate_cases", "run_gate"]
+__all__ = ["CODEC_BENCH", "GATE_BENCH", "codec_cases", "compare_runs",
+           "gate_cases", "run_gate"]
 
 #: trajectory runs are tagged with this bench name so gate baselines
 #: and the bench_engine sweep coexist in one BENCH_engine.json without
 #: cross-matching each other's cases
 GATE_BENCH = "gate"
+#: the codecs suite shares its bench name — and therefore its baseline
+#: runs — with ``benchmarks/bench_codecs.py``, so the committed
+#: ``BENCH_codecs.json`` doubles as the gate baseline
+CODEC_BENCH = "codecs"
 CHUNK_SIZE = 4096
 
 #: per-mode workload: (buffer bytes, repeats, warmup).  Five repeats
@@ -90,6 +95,50 @@ def gate_cases(size_bytes: int, *, repeats: int, warmup: int = 1,
     pack = measure(lambda: container.unpack_container(blob),
                    repeats=repeats, warmup=warmup)
     cases["container_unpack"] = summarize(pack)
+    return cases
+
+
+def codec_cases(size_bytes: int, *, repeats: int, warmup: int = 1,
+                dataset: str = "cfiles") -> dict:
+    """Measure every registered codec (plus ``auto``) on one corpus.
+
+    Case names are ``codec.<name>.encode`` / ``codec.<name>.decode``;
+    encode cases additionally carry the achieved compression ratio so
+    the trajectory records the speed *and* ratio trade-off the
+    dispatcher navigates.  Shared with ``benchmarks/bench_codecs.py``
+    so the committed ``BENCH_codecs.json`` and the gate's fresh runs
+    measure identical work.
+    """
+    from repro.codecs import codec_names
+    from repro.codecs.dispatch import decode_chunked_multi, encode_chunked_auto
+    from repro.datasets import generate
+    from repro.lzss.formats import CUDA_V2
+
+    data = np.frombuffer(generate(dataset, size_bytes, seed=7),
+                         dtype=np.uint8)
+    cases: dict[str, dict] = {}
+    for name in [*codec_names(), "auto"]:
+        enc = measure(
+            lambda: encode_chunked_auto(data, CUDA_V2, CHUNK_SIZE,
+                                        codec=name),
+            repeats=repeats, warmup=warmup)
+        result = encode_chunked_auto(data, CUDA_V2, CHUNK_SIZE, codec=name)
+        cases[f"codec.{name}.encode"] = summarize(
+            enc,
+            mb_s=round(size_bytes / max(min(enc), 1e-9) / 1e6, 3),
+            ratio=round(len(result.payload) / size_bytes, 4))
+        dec = measure(
+            lambda: decode_chunked_multi(
+                result.payload, CUDA_V2, result.chunk_sizes, CHUNK_SIZE,
+                result.input_size, result.chunk_codecs),
+            repeats=repeats, warmup=warmup)
+        out, _ = decode_chunked_multi(
+            result.payload, CUDA_V2, result.chunk_sizes, CHUNK_SIZE,
+            result.input_size, result.chunk_codecs)
+        if out != data.tobytes():  # pragma: no cover - codec invariant
+            raise AssertionError(f"codec {name} failed its round trip")
+        cases[f"codec.{name}.decode"] = summarize(
+            dec, mb_s=round(size_bytes / max(min(dec), 1e-9) / 1e6, 3))
     return cases
 
 
@@ -166,7 +215,7 @@ def format_report(report: dict, baseline_meta: dict | None = None) -> str:
 
 def run_gate(baseline_path, *, mode: str = "quick", update: bool = False,
              threshold_pct: float = 25.0, size_bytes: int | None = None,
-             repeats: int | None = None,
+             repeats: int | None = None, suite: str = "engine",
              out=print) -> int:
     """The ``culzss benchgate`` entry point; returns the exit code.
 
@@ -174,15 +223,27 @@ def run_gate(baseline_path, *, mode: str = "quick", update: bool = False,
     judging it (how baselines are [re]generated).  Without a comparable
     baseline the gate exits 2 with a hint — a missing baseline is a
     setup problem, not a performance regression.
+
+    ``suite`` picks the measured cases: ``"engine"`` is the classic
+    codec hot-path gate against ``BENCH_engine.json``; ``"codecs"``
+    measures every registered codec (see :func:`codec_cases`) against
+    the committed ``BENCH_codecs.json`` trajectory.
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {sorted(MODES)}")
+    if suite not in ("engine", "codecs"):
+        raise ValueError(f"suite must be 'engine' or 'codecs', not {suite!r}")
     mode_size, mode_repeats, warmup = MODES[mode]
     size_bytes = size_bytes or mode_size
     repeats = repeats or mode_repeats
 
-    cases = gate_cases(size_bytes, repeats=repeats, warmup=warmup)
-    fresh = new_run(GATE_BENCH, mode, cases,
+    if suite == "codecs":
+        bench_name = CODEC_BENCH
+        cases = codec_cases(size_bytes, repeats=repeats, warmup=warmup)
+    else:
+        bench_name = GATE_BENCH
+        cases = gate_cases(size_bytes, repeats=repeats, warmup=warmup)
+    fresh = new_run(bench_name, mode, cases,
                     params={"size_bytes": size_bytes, "repeats": repeats,
                             "chunk_size": CHUNK_SIZE})
     if update:
@@ -192,10 +253,11 @@ def run_gate(baseline_path, *, mode: str = "quick", update: bool = False,
         return 0
 
     doc = load_trajectory(baseline_path)
-    baseline = latest_run(doc, mode=mode, bench=GATE_BENCH)
+    baseline = latest_run(doc, mode=mode, bench=bench_name)
     if baseline is None:
         out(f"benchgate: no {mode!r} baseline in {baseline_path}; "
-            "run `culzss benchgate --update` on a known-good tree first")
+            f"run `culzss benchgate --suite {suite} --update` on a "
+            "known-good tree first")
         return 2
     report = compare_runs(baseline, fresh, threshold_pct=threshold_pct)
     out(format_report(report, baseline.get("meta")))

@@ -7,7 +7,7 @@ writing to the given files."
 Usage::
 
     culzss compress   INPUT OUTPUT [--version {1,2}] [--system SYSTEM]
-                      [--workers N]
+                      [--workers N] [--codec C] [--probe-threshold T]
     culzss decompress INPUT OUTPUT
     culzss info       INPUT
     culzss bench      [--size-mb N] [--datasets a,b,...]
@@ -17,7 +17,8 @@ Usage::
     culzss send       [INPUT ...] [--dataset KIND --count N] ...
     culzss stats      [INPUT] [--format {pretty,json,prom}] ...
     culzss trace      INPUT [--output FILE] [--workers N] ...
-    culzss benchgate  [--quick] [--update] [--threshold PCT]
+    culzss benchgate  [--suite {engine,codecs}] [--quick] [--update]
+                      [--threshold PCT]
     culzss top        --port P [--plain] [--interval S]
 
 ``serve``/``send`` run the streaming gateway pair (`repro.service`):
@@ -55,19 +56,39 @@ from pathlib import Path
 __all__ = ["build_parser", "main"]
 
 
+def _check_probe_threshold(value: float | None) -> str | None:
+    """Validate ``--probe-threshold`` up front; returns the error text."""
+    from repro.lzss.matcher import resolve_probe_threshold
+
+    try:
+        resolve_probe_threshold(value)
+    except ValueError as exc:
+        return str(exc)
+    return None
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     data = Path(args.input).read_bytes()
     system = args.system or f"culzss-v{args.version}"
+    if system not in ("culzss-v1", "culzss-v2") and args.codec != "lzss":
+        print(f"--codec applies to the culzss systems, not {system!r}",
+              file=sys.stderr)
+        return 2
+    if (err := _check_probe_threshold(args.probe_threshold)) is not None:
+        print(err, file=sys.stderr)
+        return 2
     if system in ("culzss-v1", "culzss-v2"):
         from repro.core import CompressionParams, gpu_compress
 
         version = 1 if system.endswith("1") else 2
         buf = gpu_compress(data, CompressionParams(version=version),
-                           workers=args.workers)
+                           workers=args.workers, codec=args.codec,
+                           probe_threshold=args.probe_threshold)
         blob = buf.data
-        print(f"{system}: {len(data)} -> {len(blob)} bytes "
-              f"(ratio {buf.ratio:.4f}, modeled GTX-480 time "
-              f"{buf.modeled_seconds:.4f}s)")
+        timing = ("" if args.codec != "lzss" else
+                  f", modeled GTX-480 time {buf.modeled_seconds:.4f}s")
+        print(f"{system}[{args.codec}]: {len(data)} -> {len(blob)} bytes "
+              f"(ratio {buf.ratio:.4f}{timing})")
     elif system == "serial":
         from repro.cpu import SerialLzss
 
@@ -152,6 +173,21 @@ def _cmd_info(args: argparse.Namespace) -> int:
         print(f"chunk table overhead: {info.container_overhead} bytes")
         print("per-chunk CRCs: "
               + ("yes" if info.chunk_crcs is not None else "no"))
+    if info.chunk_codecs is not None:
+        from repro.codecs import get_codec
+
+        print("per-chunk codecs:")
+        for c, cid in enumerate(info.chunk_codecs):
+            raw = min(info.chunk_size,
+                      info.original_size - c * info.chunk_size)
+            ratio = (f"{int(info.chunk_sizes[c]) / raw:.4f}" if raw > 0
+                     else "-")
+            try:
+                name = get_codec(int(cid)).name
+            except KeyError:
+                name = "?"
+            print(f"  chunk {c}: codec {int(cid)} ({name}), "
+                  f"{int(info.chunk_sizes[c])} bytes (ratio {ratio})")
     return 0
 
 
@@ -230,11 +266,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 fh.write(data)
 
     async def run() -> None:
+        accept = (args.accept_codecs.split(",") if args.accept_codecs
+                  else None)
         server = GatewayServer(args.host, args.port, workers=args.workers,
                                queue_depth=args.queue_depth,
                                timeout=args.timeout, metrics=metrics,
                                use_shm=False if args.no_shm else None,
                                metrics_port=args.metrics_port,
+                               accept_codecs=accept,
                                deliver=deliver)
         await server.start()
         print(f"listening on {server.host}:{server.port}", flush=True)
@@ -262,6 +301,9 @@ def _cmd_send(args: argparse.Namespace) -> int:
 
     from repro.service import GatewayClient, Metrics
 
+    if (err := _check_probe_threshold(args.probe_threshold)) is not None:
+        print(err, file=sys.stderr)
+        return 2
     if args.inputs:
         buffers = [Path(p).read_bytes() for p in args.inputs]
     else:
@@ -277,8 +319,12 @@ def _cmd_send(args: argparse.Namespace) -> int:
                                queue_depth=args.queue_depth,
                                timeout=args.timeout, retries=args.retries,
                                use_shm=False if args.no_shm else None,
-                               metrics=metrics)
+                               metrics=metrics, codec=args.codec,
+                               probe_threshold=args.probe_threshold)
         async with client:
+            if client.codec != args.codec:
+                print(f"gateway declined codec {args.codec!r}; "
+                      f"using {client.codec!r}")
             return await client.send_stream(buffers, stream_id=args.stream_id)
 
     from repro.service import FrameError
@@ -304,9 +350,12 @@ def _cmd_send(args: argparse.Namespace) -> int:
 def _cmd_benchgate(args: argparse.Namespace) -> int:
     from repro.bench.gate import run_gate
 
-    return run_gate(Path(args.baseline),
+    baseline = args.baseline or ("BENCH_codecs.json" if args.suite == "codecs"
+                                 else "BENCH_engine.json")
+    return run_gate(Path(baseline),
                     mode="quick" if args.quick else "full",
-                    update=args.update, threshold_pct=args.threshold)
+                    update=args.update, threshold_pct=args.threshold,
+                    suite=args.suite)
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -398,6 +447,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="shard the encode across N cores "
                         "(byte-identical output; default: serial)")
+    p.add_argument("--codec", default="lzss",
+                   choices=("auto", "store", "lzss", "lz4s", "lzss-huffman"),
+                   help="per-chunk codec for the culzss systems; 'auto' "
+                        "probes each chunk and writes a v3 container")
+    p.add_argument("--probe-threshold", type=float, default=None,
+                   help="store-fallback entropy threshold in bits/byte "
+                        "(default: REPRO_PROBE_THRESHOLD or 7.9)")
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress a container file")
@@ -451,6 +507,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--log-json", action="store_true",
                    help="emit structured JSON log lines (one per degraded "
                         "event, trace-id correlated) on stderr")
+    p.add_argument("--accept-codecs", default=None,
+                   help="comma-separated codec names answered in the NEG "
+                        "handshake (default: everything registered)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("send", help="send buffers through an ingress gateway")
@@ -479,12 +538,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-shm", action="store_true",
                    help="disable the shared-memory frame transport "
                         "(pickle frames through the pool pipe instead)")
+    p.add_argument("--codec", default="lzss",
+                   choices=("auto", "store", "lzss", "lz4s", "lzss-huffman"),
+                   help="container codec, negotiated with the egress "
+                        "gateway at connect (falls back to lzss)")
+    p.add_argument("--probe-threshold", type=float, default=None,
+                   help="raw-passthrough entropy threshold in bits/byte "
+                        "(default: REPRO_PROBE_THRESHOLD or 7.9)")
     p.set_defaults(func=_cmd_send)
 
     p = sub.add_parser("benchgate",
                        help="statistical benchmark regression gate")
-    p.add_argument("--baseline", default="BENCH_engine.json",
-                   help="trajectory file holding the committed baseline")
+    p.add_argument("--suite", choices=("engine", "codecs"), default="engine",
+                   help="which benchmark suite to gate")
+    p.add_argument("--baseline", default=None,
+                   help="trajectory file holding the committed baseline "
+                        "(default: BENCH_engine.json or BENCH_codecs.json "
+                        "per --suite)")
     p.add_argument("--quick", action="store_true",
                    help="CI-sized workload (compares against the newest "
                         "quick-mode baseline)")

@@ -1,0 +1,355 @@
+"""Content-aware per-chunk codec dispatch, and multi-codec decode.
+
+The single-codec pipeline already probes whole buffers for
+incompressibility (:func:`repro.lzss.matcher.probe_incompressible`);
+this module grows that probe into a per-chunk *chooser*.  For every
+chunk it measures two cheap statistics —
+
+* order-0 byte entropy ``h1`` (plus the probe's digram confirmation),
+* match density ``m``: the fraction of sampled 4-grams that repeat
+  within the chunk (an upper-bound proxy for how much of the chunk
+  LZSS matches can cover) —
+
+and routes the chunk:
+
+===========================  =======================================
+``h1`` at the probe ceiling  ``store`` (compression would expand it)
+``m`` low, ``h1`` high       ``lz4s`` (few matches: byte-aligned
+                             literal runs at 8.07 bits/byte beat
+                             LZSS's 9-bit literals, at higher speed)
+``h1`` low, ``m`` high       trial-encode ``lzss`` *and*
+                             ``lzss-huffman``, keep the smaller
+everything else              ``lzss`` (the paper's format)
+===========================  =======================================
+
+The trial branch is what makes ``auto`` never meaningfully worse than
+plain ``lzss``: on exactly the chunks where the entropy stage could
+plausibly win, the decision is made by measuring, not predicting.
+
+Decisions are recorded in the container v3 codec column; the decode
+side of this module (:func:`decode_chunked_multi`,
+:func:`salvage_decode_chunked_multi`) dispatches each chunk to its
+recorded codec, with unknown codec ids treated as corruption — strict
+decode raises, salvage fills and reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.codecs.base import get_codec, known_codec_ids
+from repro.codecs.lzss import LZSS_CODEC_ID
+from repro.errors import CorruptChunkError, TruncatedContainerError
+from repro.lzss.decoder import SalvageReport
+from repro.lzss.encoder import EncodeResult, encode_chunked
+from repro.lzss.formats import TokenFormat
+from repro.lzss.matcher import probe_incompressible, resolve_probe_threshold
+from repro.lzss.stats import EncodeStats
+from repro.obs import log as obslog
+from repro.util.buffers import as_u8
+from repro.util.checksum import crc32
+from repro.util.validation import require, require_range
+
+__all__ = [
+    "choose_chunk_codec",
+    "decode_chunked_multi",
+    "encode_chunked_auto",
+    "match_density",
+    "salvage_decode_chunked_multi",
+]
+
+#: Auto-mode policy constants (bits/byte and 4-gram duplicate fractions).
+LZ4S_MIN_ENTROPY = 6.5   # only prefer lz4s when literals dominate cost
+LZ4S_MAX_DENSITY = 0.10  # ... and matches are genuinely scarce
+TRIAL_MAX_ENTROPY = 6.0  # low literal entropy: Huffman stage may win
+TRIAL_MIN_DENSITY = 0.30
+#: Chunks smaller than this skip the statistics — framing overheads
+#: dominate and plain lzss is the safe default.
+MIN_PROBE_CHUNK = 256
+
+_DENSITY_SAMPLE = 4096
+
+
+def _metric_key(name: str) -> str:
+    return name.replace("-", "_")
+
+
+def match_density(chunk: np.ndarray, sample: int = _DENSITY_SAMPLE) -> float:
+    """Fraction of sampled 4-grams that duplicate another in the chunk.
+
+    A stride-sampled ``np.unique`` pass — the cheap stand-in for "how
+    often would a match search succeed here".
+    """
+    arr = as_u8(chunk)
+    n = arr.size
+    if n < 8:
+        return 0.0
+    pos = np.arange(n - 3, dtype=np.int64)
+    if pos.size > sample:
+        pos = pos[:: pos.size // sample][:sample]
+    grams = ((arr[pos].astype(np.uint32) << 24)
+             | (arr[pos + 1].astype(np.uint32) << 16)
+             | (arr[pos + 2].astype(np.uint32) << 8)
+             | arr[pos + 3])
+    return 1.0 - np.unique(grams).size / grams.size
+
+
+def choose_chunk_codec(chunk: np.ndarray, *,
+                       probe_threshold: float | None = None) -> str:
+    """Pick a codec name (or ``"trial"``) for one chunk's content."""
+    arr = as_u8(chunk)
+    n = arr.size
+    if n < MIN_PROBE_CHUNK:
+        return "lzss"
+    if probe_incompressible(arr, min_size=MIN_PROBE_CHUNK,
+                            byte_entropy_bits=probe_threshold):
+        return "store"
+    counts = np.bincount(arr, minlength=256)
+    p = counts[counts > 0] / n
+    h1 = float(-(p * np.log2(p)).sum())
+    m = match_density(arr)
+    if m <= LZ4S_MAX_DENSITY and h1 >= LZ4S_MIN_ENTROPY:
+        return "lz4s"
+    if h1 <= TRIAL_MAX_ENTROPY and m >= TRIAL_MIN_DENSITY:
+        return "trial"
+    return "lzss"
+
+
+def _empty_stats(input_size: int, output_size: int) -> EncodeStats:
+    # Mixed-codec streams have no single token accounting; report the
+    # sizes (what ratio needs) and zeros for the lzss-specific counts.
+    return EncodeStats(input_size=input_size, output_size=output_size,
+                       n_tokens=0, n_literals=0, n_pairs=0,
+                       sum_match_length=0, total_bits=8 * output_size)
+
+
+def encode_chunked_auto(data, fmt: TokenFormat, chunk_size: int, *,
+                        codec: str = "auto", max_chain: int = 64,
+                        probe_threshold: float | None = None
+                        ) -> EncodeResult:
+    """Chunked encode with a per-chunk codec column.
+
+    ``codec`` is either a registered codec name (every chunk uses it)
+    or ``"auto"`` (the content-aware chooser above).  The returned
+    :class:`EncodeResult` carries ``chunk_codecs`` — the uint8 wire-id
+    column the container v3 writer records.
+    """
+    arr = as_u8(data)
+    n = arr.size
+    require_range(chunk_size, 1, 1 << 40, "chunk_size")
+    threshold = resolve_probe_threshold(probe_threshold)
+    n_chunks = (n + chunk_size - 1) // chunk_size if n else 0
+
+    if codec == "lzss":
+        # Byte-identical to the classic path, plus the codec column.
+        result = encode_chunked(arr, fmt, chunk_size, max_chain=max_chain)
+        result.chunk_codecs = np.full(n_chunks, LZSS_CODEC_ID,
+                                      dtype=np.uint8)
+        _account(result.chunk_codecs, result.chunk_sizes, arr.size,
+                 chunk_size)
+        return result
+    if codec != "auto":
+        get_codec(codec)  # raises KeyError on unknown names
+
+    if n_chunks == 0:
+        return EncodeResult(payload=b"", format=fmt, input_size=0,
+                            chunk_sizes=np.zeros(0, dtype=np.int64),
+                            chunk_size=chunk_size,
+                            stats=_empty_stats(0, 0),
+                            chunk_codecs=np.zeros(0, dtype=np.uint8))
+
+    if codec == "auto":
+        names = []
+        for c in range(n_chunks):
+            chunk = arr[c * chunk_size:(c + 1) * chunk_size]
+            name = choose_chunk_codec(chunk, probe_threshold=threshold)
+            if name == "store":
+                obs.inc("codec.store_fallbacks")
+                obslog.event("codec", "store_fallback", scope="chunk",
+                             chunk=c, size=int(chunk.size),
+                             threshold=threshold)
+            names.append(name)
+    else:
+        names = [codec] * n_chunks
+
+    parts: list[bytes] = [b""] * n_chunks
+    ids = np.zeros(n_chunks, dtype=np.uint8)
+    lzss_codec = get_codec("lzss")
+    huff_codec = get_codec("lzss-huffman")
+    i = 0
+    while i < n_chunks:
+        j = i
+        while j < n_chunks and names[j] == names[i]:
+            j += 1
+        lo, hi = i * chunk_size, min(j * chunk_size, n)
+        if names[i] == "trial":
+            # Measure, don't predict: smaller of lzss and lzss-huffman.
+            for c in range(i, j):
+                chunk = arr[c * chunk_size:min((c + 1) * chunk_size, n)]
+                as_lzss = lzss_codec.encode_chunk(chunk, fmt)
+                as_huff = huff_codec.encode_chunk(chunk, fmt)
+                if len(as_huff) < len(as_lzss):
+                    parts[c], ids[c] = as_huff, huff_codec.codec_id
+                else:
+                    parts[c], ids[c] = as_lzss, lzss_codec.codec_id
+        else:
+            run_codec = get_codec(names[i])
+            payload, sizes = run_codec.encode_run(arr[lo:hi], fmt,
+                                                  chunk_size,
+                                                  max_chain=max_chain)
+            offs = np.concatenate([[0], np.cumsum(sizes)])
+            for k, c in enumerate(range(i, j)):
+                parts[c] = payload[int(offs[k]):int(offs[k + 1])]
+                ids[c] = run_codec.codec_id
+        i = j
+
+    payload = b"".join(parts)
+    chunk_sizes = np.asarray([len(p) for p in parts], dtype=np.int64)
+    _account(ids, chunk_sizes, n, chunk_size)
+    return EncodeResult(payload=payload, format=fmt, input_size=n,
+                        chunk_sizes=chunk_sizes, chunk_size=chunk_size,
+                        stats=_empty_stats(n, len(payload)),
+                        chunk_codecs=ids)
+
+
+def _account(ids: np.ndarray, chunk_sizes: np.ndarray, input_size: int,
+             chunk_size: int) -> None:
+    """Per-codec obs counters and compressed-ratio histograms."""
+    if not obs.enabled():
+        return
+    n = ids.size
+    for c in range(n):
+        key = _metric_key(get_codec(int(ids[c])).name)
+        obs.inc(f"codec.chunks_{key}")
+        raw = min(chunk_size, input_size - c * chunk_size)
+        if raw > 0:
+            obs.observe(f"codec.ratio_{key}",
+                        float(chunk_sizes[c]) / raw)
+
+
+# ---------------------------------------------------------------- decode
+
+def decode_chunked_multi(payload, fmt: TokenFormat, chunk_sizes: np.ndarray,
+                         chunk_size: int, output_size: int,
+                         chunk_codecs: np.ndarray, *,
+                         chunk_crcs: np.ndarray | None = None,
+                         first_chunk: int = 0) -> tuple[bytes, np.ndarray]:
+    """Strict decode of a mixed-codec chunk stream (container v3).
+
+    The per-chunk codec column routes every chunk to its recorded
+    codec; an unknown codec id raises :class:`CorruptChunkError` naming
+    the chunk, exactly like a CRC mismatch would.
+    """
+    arr = as_u8(payload)
+    chunk_sizes = np.asarray(chunk_sizes, dtype=np.int64)
+    chunk_codecs = np.asarray(chunk_codecs, dtype=np.uint8)
+    require(int(chunk_sizes.sum()) == arr.size,
+            "chunk size table does not cover the payload")
+    n_chunks = chunk_sizes.size
+    expected = (output_size + chunk_size - 1) // chunk_size if output_size else 0
+    require(n_chunks == expected,
+            f"expected {expected} chunks for {output_size} bytes, got {n_chunks}")
+    require(chunk_codecs.size == n_chunks,
+            "codec column does not cover the chunks")
+
+    known = known_codec_ids()
+    out = np.zeros(output_size, dtype=np.uint8)
+    tokens = np.zeros(n_chunks, dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(chunk_sizes)])
+    checks = failures = 0
+    try:
+        with obs.stage("decode.stream", chunks=n_chunks, multi=True):
+            for c in range(n_chunks):
+                lo = c * chunk_size
+                hi = min(lo + chunk_size, output_size)
+                cid = int(chunk_codecs[c])
+                if cid not in known:
+                    raise CorruptChunkError(
+                        f"unknown codec id {cid}",
+                        chunk_index=first_chunk + c,
+                        offset=int(offsets[c]))
+                piece = arr[offsets[c]:offsets[c + 1]]
+                if chunk_crcs is not None:
+                    checks += 1
+                    if crc32(piece) != int(chunk_crcs[c]):
+                        failures += 1
+                        raise CorruptChunkError(
+                            "chunk checksum mismatch",
+                            chunk_index=first_chunk + c,
+                            offset=int(offsets[c]))
+                out[lo:hi] = get_codec(cid).decode_chunk(
+                    piece, fmt, hi - lo, chunk_index=first_chunk + c)
+    finally:
+        if checks:
+            obs.inc("container.crc_checks", checks)
+        if failures:
+            obs.inc("container.crc_failures", failures)
+    return out.tobytes(), tokens
+
+
+def salvage_decode_chunked_multi(
+        payload, fmt: TokenFormat, chunk_sizes: np.ndarray,
+        chunk_size: int, output_size: int, chunk_codecs: np.ndarray, *,
+        chunk_crcs: np.ndarray | None = None, fill_byte: int = 0,
+        first_chunk: int = 0) -> tuple[bytes, np.ndarray, SalvageReport]:
+    """Best-effort decode of a mixed-codec chunk stream.
+
+    Extends classic salvage with the codec column: a chunk whose codec
+    id is unknown (bit rot in the column itself, or an archive from a
+    newer library) is *lost* — filled with ``fill_byte``, reported in
+    the :class:`SalvageReport` both in ``lost`` and in the dedicated
+    ``unknown_codec`` list — instead of aborting the whole archive.
+    """
+    require(0 <= fill_byte <= 255, "fill_byte must be one byte")
+    arr = as_u8(payload)
+    chunk_sizes = np.asarray(chunk_sizes, dtype=np.int64)
+    chunk_codecs = np.asarray(chunk_codecs, dtype=np.uint8)
+    n_chunks = chunk_sizes.size
+    expected = (output_size + chunk_size - 1) // chunk_size if output_size else 0
+    require(n_chunks == expected,
+            f"expected {expected} chunks for {output_size} bytes, got {n_chunks}")
+    require(chunk_codecs.size == n_chunks,
+            "codec column does not cover the chunks")
+
+    known = known_codec_ids()
+    out = np.full(output_size, fill_byte, dtype=np.uint8)
+    tokens = np.zeros(n_chunks, dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(chunk_sizes)])
+    report = SalvageReport(n_chunks=n_chunks, fill_byte=fill_byte)
+    checks = failures = 0
+    with obs.stage("decode.stream", chunks=n_chunks, salvage=True,
+                   multi=True):
+        for c in range(n_chunks):
+            lo = c * chunk_size
+            hi = min(lo + chunk_size, output_size)
+            p_lo, p_hi = int(offsets[c]), int(offsets[c + 1])
+            cid = int(chunk_codecs[c])
+            good = p_hi <= arr.size
+            if cid not in known:
+                report.unknown_codec.append(first_chunk + c)
+                good = False
+            if good and chunk_crcs is not None:
+                checks += 1
+                good = crc32(arr[p_lo:p_hi]) == int(chunk_crcs[c])
+                failures += not good
+            if good:
+                try:
+                    out[lo:hi] = get_codec(cid).decode_chunk(
+                        arr[p_lo:p_hi], fmt, hi - lo,
+                        chunk_index=first_chunk + c)
+                except (CorruptChunkError, TruncatedContainerError):
+                    out[lo:hi] = fill_byte
+                    good = False
+            if good:
+                report.recovered.append(first_chunk + c)
+            else:
+                report.lost.append(first_chunk + c)
+                report.lost_ranges.append((lo, hi))
+    if checks:
+        obs.inc("container.crc_checks", checks)
+    if failures:
+        obs.inc("container.crc_failures", failures)
+    obs.inc("container.salvage_chunks_recovered", len(report.recovered))
+    obs.inc("container.salvage_chunks_lost", len(report.lost))
+    return out.tobytes(), tokens, report

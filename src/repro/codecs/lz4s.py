@@ -1,0 +1,237 @@
+"""The ``lz4s`` codec: a byte-aligned literal-run/match format for speed.
+
+LZSS spends one flag bit per token and packs fields at arbitrary bit
+offsets — great for ratio, but both ends pay for the bit twiddling.
+This codec trades ratio for throughput the way LZ4 does (cf. the
+GPU-LZ4 line of work, arXiv:2409.12433): everything is byte-aligned,
+literals travel in *runs* under one control byte, and the matcher runs
+at a shallow chain depth.
+
+Wire format (per chunk, self-contained):
+
+* control byte ``c < 0x80`` — literal run: the next ``c + 1`` bytes
+  (1..128) are verbatim literals.  Longer runs split into consecutive
+  full blocks.
+* control byte ``c >= 0x80`` — match: length ``(c & 0x7F) + 4``
+  (4..131), followed by a 2-byte little-endian distance (1..65535).
+
+Matches never cross chunk boundaries, distances are chunk-local, and
+a chunk's stream must consume its payload exactly and produce exactly
+the declared output size — violations raise
+:class:`~repro.errors.CorruptChunkError` like every other codec.
+
+Both directions are single-pass NumPy: encode scatters control and
+literal bytes with :func:`~repro.util.bitio.ragged_arange`, decode
+walks a byte-level jump chain (:func:`~repro.lzss.parse.reachable_from`)
+and resolves matches with the decoder's pointer-jumping trick.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codecs.base import Codec, register_codec
+from repro.errors import CorruptChunkError
+from repro.lzss.formats import TokenFormat
+from repro.lzss.matcher import hash_chain_best_matches
+from repro.lzss.parse import greedy_token_starts, reachable_from
+from repro.util.bitio import ragged_arange
+from repro.util.buffers import as_u8
+from repro.util.validation import require_range
+
+__all__ = [
+    "LZ4S_CODEC_ID",
+    "LZ4S_MAX_DIST",
+    "LZ4S_MAX_MATCH",
+    "LZ4S_MIN_MATCH",
+    "Lz4sCodec",
+    "lz4s_decode_chunk",
+    "lz4s_encode_chunked",
+]
+
+LZ4S_CODEC_ID = 3
+LZ4S_MIN_MATCH = 4
+LZ4S_MAX_MATCH = 0x7F + LZ4S_MIN_MATCH  # 131
+LZ4S_MAX_RUN = 128
+LZ4S_MAX_DIST = 0xFFFF
+
+#: Shallow chain depth — the speed knob.  Eight probes catches the
+#: bulk of 4+ byte matches at a fraction of the default depth of 64.
+LZ4S_MAX_CHAIN = 8
+
+
+def lz4s_encode_chunked(data, chunk_size: int, *,
+                        max_chain: int = LZ4S_MAX_CHAIN
+                        ) -> tuple[bytes, np.ndarray]:
+    """Encode consecutive chunks; returns (payload, per-chunk sizes)."""
+    arr = as_u8(data)
+    n = arr.size
+    require_range(chunk_size, 1, 1 << 40, "chunk_size")
+    n_chunks = (n + chunk_size - 1) // chunk_size if n else 0
+    if n_chunks == 0:
+        return b"", np.zeros(0, dtype=np.int64)
+
+    window = min(chunk_size, LZ4S_MAX_DIST)
+    blen, bdist = hash_chain_best_matches(arr, window, LZ4S_MAX_MATCH,
+                                          max_chain=max_chain,
+                                          chunk_size=chunk_size)
+    matchable = blen >= LZ4S_MIN_MATCH
+    advance = np.where(matchable, blen, 1).astype(np.int64)
+    starts = greedy_token_starts(advance, chunk_size)
+
+    is_match = matchable[starts]
+    chunk_id = starts // chunk_size
+
+    # Coalesce consecutive literal tokens into run *elements*; every
+    # match token is its own element.  A new element begins at a match,
+    # right after a match, or at a chunk boundary.
+    n_tok = starts.size
+    head = np.ones(n_tok, dtype=bool)
+    head[1:] = (is_match[1:] | is_match[:-1]
+                | (chunk_id[1:] != chunk_id[:-1]))
+    elem_id = np.cumsum(head) - 1
+    head_pos = np.nonzero(head)[0]
+    n_elem = head_pos.size
+
+    elem_is_match = is_match[head_pos]
+    elem_start = starts[head_pos]
+    elem_chunk = chunk_id[head_pos]
+    # Literal tokens all advance by 1, so a run's literal count is its
+    # token count; matches contribute zero literals.
+    run_len = np.bincount(elem_id[~is_match], minlength=n_elem)
+
+    n_ctrl = -(-run_len // LZ4S_MAX_RUN)  # ceil; 0 for match elements
+    elem_size = np.where(elem_is_match, 3, n_ctrl + run_len)
+    elem_off = np.concatenate(([0], np.cumsum(elem_size)[:-1]))
+    chunk_sizes = np.bincount(elem_chunk, weights=elem_size,
+                              minlength=n_chunks).astype(np.int64)
+
+    out = np.empty(int(elem_size.sum()), dtype=np.uint8)
+
+    lit_elems = np.nonzero(~elem_is_match)[0]
+    if lit_elems.size:
+        # Control byte per 128-literal block: value = block size - 1.
+        blocks = n_ctrl[lit_elems]
+        rep = np.repeat(lit_elems, blocks)
+        j = ragged_arange(blocks)
+        block_size = np.minimum(LZ4S_MAX_RUN,
+                                run_len[rep] - LZ4S_MAX_RUN * j)
+        out[elem_off[rep] + j * (LZ4S_MAX_RUN + 1)] = \
+            (block_size - 1).astype(np.uint8)
+        # Literal bytes, skipping one control slot per block.
+        lens = run_len[lit_elems]
+        rep2 = np.repeat(lit_elems, lens)
+        k = ragged_arange(lens)
+        dest = (elem_off[rep2] + (k // LZ4S_MAX_RUN) * (LZ4S_MAX_RUN + 1)
+                + 1 + k % LZ4S_MAX_RUN)
+        out[dest] = arr[elem_start[rep2] + k]
+
+    m_elems = np.nonzero(elem_is_match)[0]
+    if m_elems.size:
+        m_off = elem_off[m_elems]
+        m_len = advance[elem_start[m_elems]]
+        m_dist = bdist[elem_start[m_elems]].astype(np.int64)
+        out[m_off] = (0x80 | (m_len - LZ4S_MIN_MATCH)).astype(np.uint8)
+        out[m_off + 1] = (m_dist & 0xFF).astype(np.uint8)
+        out[m_off + 2] = (m_dist >> 8).astype(np.uint8)
+
+    return out.tobytes(), chunk_sizes
+
+
+def lz4s_decode_chunk(payload: np.ndarray, output_size: int,
+                      chunk_index: int = 0) -> np.ndarray:
+    """Decode one chunk payload to exactly ``output_size`` bytes."""
+    def corrupt(message: str, token: int | None = None) -> CorruptChunkError:
+        return CorruptChunkError(message, chunk_index=chunk_index,
+                                 token_position=token)
+
+    p = np.asarray(payload, dtype=np.uint8)
+    nb = p.size
+    if output_size == 0:
+        if nb:
+            raise corrupt("lz4s: nonempty payload for empty chunk")
+        return np.zeros(0, dtype=np.uint8)
+    if nb == 0:
+        raise corrupt("lz4s: empty payload for nonempty chunk")
+
+    # Byte-level token scan: every control byte names its token size.
+    ctrl = p.astype(np.int64)
+    step = np.where(ctrl >= 0x80, 3, ctrl + 2)
+    jump = np.arange(nb, dtype=np.int64) + step
+    starts = reachable_from(jump, 0)
+    ends = starts + step[starts]
+    if int(ends[-1]) != nb:
+        raise corrupt("lz4s: token stream does not consume payload exactly",
+                      token=int(starts.size) - 1)
+
+    c = ctrl[starts]
+    t_is_match = c >= 0x80
+    out_len = np.where(t_is_match, (c & 0x7F) + LZ4S_MIN_MATCH, c + 1)
+    out_ends = np.cumsum(out_len)
+    if int(out_ends[-1]) != output_size:
+        raise corrupt("lz4s: token output does not land on declared size",
+                      token=int(starts.size) - 1)
+    out_start = out_ends - out_len
+
+    parent = np.arange(output_size, dtype=np.int64)
+    values8 = np.zeros(output_size, dtype=np.uint8)
+
+    lit_idx = np.nonzero(~t_is_match)[0]
+    if lit_idx.size:
+        lens = out_len[lit_idx]
+        rep = np.repeat(lit_idx, lens)
+        k = ragged_arange(lens)
+        values8[out_start[rep] + k] = p[starts[rep] + 1 + k]
+
+    m_idx = np.nonzero(t_is_match)[0]
+    if m_idx.size:
+        m_start = starts[m_idx]
+        dist = ctrl[m_start + 1] | (ctrl[m_start + 2] << 8)
+        if int(dist.min()) == 0:
+            raise corrupt("lz4s: zero match distance",
+                          token=int(m_idx[np.nonzero(dist == 0)[0][0]]))
+        m_len = out_len[m_idx]
+        flat = np.repeat(out_start[m_idx], m_len) + ragged_arange(m_len)
+        parent[flat] = flat - np.repeat(dist, m_len)
+        if int(parent.min()) < 0:
+            bad = int(np.nonzero(parent < 0)[0][0])
+            raise corrupt("lz4s: back-reference before chunk start",
+                          token=int(np.searchsorted(out_start, bad,
+                                                    side="right")) - 1)
+
+    for _ in range(64):
+        grand = parent[parent]
+        if np.array_equal(grand, parent):
+            break
+        parent = grand
+    else:  # pragma: no cover - 2**64 chain depth is impossible
+        raise corrupt("lz4s: unresolvable reference chain")
+
+    return values8[parent]
+
+
+class Lz4sCodec(Codec):
+    name = "lz4s"
+    codec_id = LZ4S_CODEC_ID
+    entropy_coded = False
+    uses_token_format = False
+
+    def encode_chunk(self, chunk: np.ndarray, fmt: TokenFormat) -> bytes:
+        if chunk.size == 0:
+            return b""
+        payload, _sizes = lz4s_encode_chunked(chunk, int(chunk.size))
+        return payload
+
+    def decode_chunk(self, payload: np.ndarray, fmt: TokenFormat,
+                     output_size: int, *, chunk_index: int = 0) -> np.ndarray:
+        return lz4s_decode_chunk(payload, output_size, chunk_index)
+
+    def encode_run(self, data: np.ndarray, fmt: TokenFormat,
+                   chunk_size: int, *,
+                   max_chain: int = 64) -> tuple[bytes, np.ndarray]:
+        # The shallow-chain default is the codec's identity; the
+        # engine-wide max_chain (tuned for lzss ratio) is ignored.
+        return lz4s_encode_chunked(data, chunk_size)
+
+
+register_codec(Lz4sCodec())

@@ -13,6 +13,7 @@ from repro.container.format import (
     CONTAINER_MAGIC,
     CONTAINER_VERSION_V1,
     CONTAINER_VERSION_V2,
+    CONTAINER_VERSION_V3,
     ContainerInfo,
     HEADER_SIZE,
     pack_container,
@@ -24,6 +25,7 @@ __all__ = [
     "CONTAINER_MAGIC",
     "CONTAINER_VERSION_V1",
     "CONTAINER_VERSION_V2",
+    "CONTAINER_VERSION_V3",
     "ContainerInfo",
     "HEADER_SIZE",
     "pack_container",

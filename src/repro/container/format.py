@@ -4,7 +4,7 @@ All integers little-endian::
 
     offset  size  field
     0       4     magic  b"CLZS"
-    4       1     container version (1 or 2)
+    4       1     container version (1, 2 or 3)
     5       1     token-format id (TokenFormat.to_id)
     6       1     flags (bit 0: chunked)
     7       1     reserved (0)
@@ -14,7 +14,8 @@ All integers little-endian::
     24      4     CRC-32 of the payload
     28      4     CRC-32 of bytes [0, 28) — header self-check
     32      4*n   per-chunk compressed sizes (chunked only)
-    …       4*n   per-chunk CRC-32s (version 2, chunked only)
+    …       4*n   per-chunk CRC-32s (version 2+, chunked only)
+    …       1*n   per-chunk codec ids (version 3, chunked only)
     …             payload
 
 The chunk table *is* the paper's "list of block compression sizes";
@@ -26,8 +27,15 @@ Version 2 appends a CRC-32 per chunk right after the size table
 integrity: a flipped bit condemns one 4 KiB chunk instead of the whole
 archive, and salvage decode (:func:`repro.lzss.decoder.
 salvage_decode_chunked`) recovers every other chunk byte-identically.
-Version 1 blobs remain fully readable; writing is version-gated via
-``pack_container(..., version=1)``.
+
+Version 3 appends one codec id per chunk after the CRC table
+(:mod:`repro.codecs` wire ids), which is what lets the content-aware
+dispatcher mix ``store``/``lzss``/``lz4s``/``lzss-huffman`` within one
+archive.  Strict readers reject unknown ids; salvage decode treats
+them as per-chunk loss.  v1 and v2 blobs remain fully readable;
+writing older layouts is version-gated via
+``pack_container(..., version=...)``, and the default write version
+stays 2 unless the encode result actually carries a codec column.
 """
 
 from __future__ import annotations
@@ -53,6 +61,7 @@ __all__ = [
     "CONTAINER_MAGIC",
     "CONTAINER_VERSION_V1",
     "CONTAINER_VERSION_V2",
+    "CONTAINER_VERSION_V3",
     "ContainerInfo",
     "HEADER_SIZE",
     "pack_container",
@@ -63,7 +72,9 @@ __all__ = [
 CONTAINER_MAGIC = b"CLZS"
 CONTAINER_VERSION_V1 = 1
 CONTAINER_VERSION_V2 = 2
-#: Default *write* version.  Readers accept both.
+CONTAINER_VERSION_V3 = 3
+#: Default *write* version for single-codec results.  Readers accept
+#: all versions; results carrying a codec column write v3.
 CONTAINER_VERSION = CONTAINER_VERSION_V2
 HEADER_SIZE = 32
 _HEADER_FMT = "<4sBBBBQIIII"
@@ -81,6 +92,7 @@ class ContainerInfo:
     payload: bytes
     chunk_crcs: np.ndarray | None = None
     version: int = CONTAINER_VERSION_V1
+    chunk_codecs: np.ndarray | None = None
 
     @property
     def is_chunked(self) -> bool:
@@ -92,6 +104,8 @@ class ContainerInfo:
         if self.chunk_sizes is None:
             return HEADER_SIZE
         per_chunk = 8 if self.chunk_crcs is not None else 4
+        if self.chunk_codecs is not None:
+            per_chunk += 1
         return HEADER_SIZE + per_chunk * self.chunk_sizes.size
 
     @property
@@ -122,19 +136,41 @@ def _chunk_crc_table(payload: bytes, chunk_sizes: np.ndarray) -> np.ndarray:
 
 
 def pack_container(result: EncodeResult, *,
-                   version: int = CONTAINER_VERSION) -> bytes:
+                   version: int | None = None) -> bytes:
     """Serialize an :class:`EncodeResult` into a self-describing blob.
 
-    ``version`` gates the wire format: 2 (default) writes the per-chunk
-    CRC table, 1 reproduces the legacy layout byte-for-byte.
+    ``version`` gates the wire format: 3 adds the per-chunk codec-id
+    column, 2 the per-chunk CRC table, 1 reproduces the legacy layout
+    byte-for-byte.  When omitted, single-codec results write version 2
+    (the historical default bytes, golden-tested) and results carrying
+    a ``chunk_codecs`` column write version 3.
     """
-    require(version in (CONTAINER_VERSION_V1, CONTAINER_VERSION_V2),
+    codecs_col = getattr(result, "chunk_codecs", None)
+    if version is None:
+        version = (CONTAINER_VERSION_V3 if codecs_col is not None
+                   else CONTAINER_VERSION)
+    require(version in (CONTAINER_VERSION_V1, CONTAINER_VERSION_V2,
+                        CONTAINER_VERSION_V3),
             f"unsupported container version {version}")
     chunked = result.chunk_sizes is not None
     n_chunks = int(result.chunk_sizes.size) if chunked else 0
     chunk_size = int(result.chunk_size) if chunked else 0
     flags = _FLAG_CHUNKED if chunked else 0
     payload_crc = crc32(result.payload)
+    if version >= CONTAINER_VERSION_V3:
+        require(chunked, "container v3 requires a chunked result")
+        if codecs_col is None:
+            # Version-gated upgrade of a plain lzss result: synthesize
+            # the uniform column.
+            from repro.codecs import LZSS_CODEC_ID
+            codecs_col = np.full(n_chunks, LZSS_CODEC_ID, dtype=np.uint8)
+        codecs_col = np.asarray(codecs_col, dtype=np.uint8)
+        require(codecs_col.size == n_chunks,
+                "codec column does not cover the chunks")
+    else:
+        require(codecs_col is None,
+                f"result carries a codec column; container v{version} "
+                "cannot record it (write v3)")
 
     head = struct.pack("<4sBBBBQIII", CONTAINER_MAGIC, version,
                        result.format.to_id(), flags, 0,
@@ -149,6 +185,8 @@ def pack_container(result: EncodeResult, *,
         if version >= CONTAINER_VERSION_V2:
             parts.append(_chunk_crc_table(result.payload,
                                           result.chunk_sizes).tobytes())
+        if version >= CONTAINER_VERSION_V3:
+            parts.append(codecs_col.tobytes())
     parts.append(result.payload)
     return b"".join(parts)
 
@@ -201,7 +239,8 @@ def unpack_container(blob: bytes, *, strict: bool = True) -> ContainerInfo:
         raise CorruptHeaderError("bad container magic")
     if crc32(blob[:HEADER_SIZE - 4]) != header_crc:
         raise CorruptHeaderError("container header checksum mismatch")
-    if version not in (CONTAINER_VERSION_V1, CONTAINER_VERSION_V2):
+    if version not in (CONTAINER_VERSION_V1, CONTAINER_VERSION_V2,
+                       CONTAINER_VERSION_V3):
         raise CorruptHeaderError(f"unsupported container version {version}")
     try:
         fmt = TokenFormat.from_id(fmt_id)
@@ -211,8 +250,11 @@ def unpack_container(blob: bytes, *, strict: bool = True) -> ContainerInfo:
     offset = HEADER_SIZE
     chunk_sizes: np.ndarray | None = None
     chunk_crcs: np.ndarray | None = None
+    chunk_codecs: np.ndarray | None = None
     if flags & _FLAG_CHUNKED:
         per_chunk = 8 if version >= CONTAINER_VERSION_V2 else 4
+        if version >= CONTAINER_VERSION_V3:
+            per_chunk += 1
         table_bytes = per_chunk * n_chunks
         if len(blob) < offset + table_bytes:
             raise TruncatedContainerError(
@@ -225,6 +267,10 @@ def unpack_container(blob: bytes, *, strict: bool = True) -> ContainerInfo:
             chunk_crcs = np.frombuffer(
                 blob, dtype="<u4", count=n_chunks, offset=offset).copy()
             offset += 4 * n_chunks
+        if version >= CONTAINER_VERSION_V3:
+            chunk_codecs = np.frombuffer(
+                blob, dtype=np.uint8, count=n_chunks, offset=offset).copy()
+            offset += n_chunks
         expected = ((original_size + chunk_size - 1) // chunk_size
                     if original_size else 0)
         if n_chunks != expected:
@@ -242,9 +288,21 @@ def unpack_container(blob: bytes, *, strict: bool = True) -> ContainerInfo:
                          chunk_size=chunk_size if chunk_sizes is not None
                          else None,
                          chunk_sizes=chunk_sizes, payload=payload,
-                         chunk_crcs=chunk_crcs, version=version)
+                         chunk_crcs=chunk_crcs, version=version,
+                         chunk_codecs=chunk_codecs)
     if not strict:
         return info
+
+    if chunk_codecs is not None:
+        from repro.codecs import known_codec_ids
+        known = known_codec_ids()
+        bad_ids = np.nonzero(
+            ~np.isin(chunk_codecs, np.fromiter(known, dtype=np.uint8)))[0]
+        if bad_ids.size:
+            first = int(bad_ids[0])
+            raise CorruptChunkError(
+                f"unknown codec id {int(chunk_codecs[first])}",
+                chunk_index=first)
 
     if chunk_sizes is not None:
         declared = int(chunk_sizes.sum())

@@ -22,6 +22,12 @@ import numpy as np
 
 from repro import obs
 from repro.obs import log as obslog
+from repro.codecs import codec_names
+from repro.codecs.dispatch import (
+    decode_chunked_multi,
+    encode_chunked_auto,
+    salvage_decode_chunked_multi,
+)
 from repro.container import pack_container, unpack_container
 from repro.core.decompress import GpuDecompressor
 from repro.core.library import get_library
@@ -114,7 +120,8 @@ def _compressor_for(params: CompressionParams, engine=None):
 def gpu_compress(buffer, params: CompressionParams | None = None,
                  calibration: Calibration | None = None, *,
                  workers: int | None = None,
-                 engine=None) -> CompressedBuffer:
+                 engine=None, codec: str = "lzss",
+                 probe_threshold: float | None = None) -> CompressedBuffer:
     """In-memory compression on the (simulated) GPU.
 
     Parameters mirror the paper's ``Gpu_compress(in, out, params)``:
@@ -125,6 +132,14 @@ def gpu_compress(buffer, params: CompressionParams | None = None,
     via ``engine``) shards the encode pipeline across that many cores;
     the container that comes back is byte-identical to the serial path,
     whatever the worker count.
+
+    ``codec`` selects the per-chunk coder: ``"lzss"`` (default) is the
+    paper's pipeline with the classic v2 container; any other
+    registered codec name — or ``"auto"``, the content-aware per-chunk
+    dispatcher — goes through :mod:`repro.codecs` and writes a v3
+    container carrying the per-chunk codec column.  ``probe_threshold``
+    tunes the dispatcher's store-fallback entropy threshold
+    (bits/byte; defaults to ``REPRO_PROBE_THRESHOLD`` or 7.9).
     """
     params = params or get_library().default_params()
     require(params.is_standard_format,
@@ -132,6 +147,28 @@ def gpu_compress(buffer, params: CompressionParams | None = None,
             "use V1Compressor/V2Compressor directly for tuning sweeps")
     cal = calibration or default_calibration()
     data = as_bytes(buffer)
+    if codec != "lzss":
+        require(codec == "auto" or codec in codec_names(),
+                f"unknown codec {codec!r} (registered: "
+                f"{', '.join(codec_names())}, plus 'auto')")
+        eng = _engine_for(workers, engine)
+        fmt = params.token_format
+        with obs.stage("api.compress", size=len(data),
+                       version=params.version, codec=codec):
+            if eng is not None:
+                result = eng.encode_chunked_auto(
+                    data, fmt, params.chunk_size, codec=codec,
+                    max_chain=params.max_chain,
+                    probe_threshold=probe_threshold)
+            else:
+                result = encode_chunked_auto(
+                    data, fmt, params.chunk_size, codec=codec,
+                    max_chain=params.max_chain,
+                    probe_threshold=probe_threshold)
+        # Mixed-codec pipelines are outside the paper's single-kernel
+        # cost model; the profile is deliberately empty.
+        return CompressedBuffer(data=pack_container(result), result=result,
+                                profile=GpuProfile())
     compressor = _compressor_for(params, _engine_for(workers, engine))
     with obs.stage("api.compress", size=len(data), version=params.version):
         result = compressor.compress(data)
@@ -180,25 +217,46 @@ def gpu_decompress(blob, params: CompressionParams | None = None,
         window=min(params.window, info.chunk_size))
     engine = _engine_for(workers, engine)
     report = None
+    codecs_col = info.chunk_codecs
     with obs.stage("api.decompress", size=info.original_size, errors=errors):
         if errors == "salvage":
-            salvage = (engine.salvage_decode_chunked if engine is not None
-                       else salvage_decode_chunked)
-            out, per_chunk_tokens, report = salvage(
-                info.payload, info.format, info.chunk_sizes, info.chunk_size,
-                info.original_size, chunk_crcs=info.chunk_crcs,
-                fill_byte=fill_byte)
+            if engine is not None:
+                out, per_chunk_tokens, report = engine.salvage_decode_chunked(
+                    info.payload, info.format, info.chunk_sizes,
+                    info.chunk_size, info.original_size,
+                    chunk_crcs=info.chunk_crcs, fill_byte=fill_byte,
+                    chunk_codecs=codecs_col)
+            elif codecs_col is not None:
+                out, per_chunk_tokens, report = salvage_decode_chunked_multi(
+                    info.payload, info.format, info.chunk_sizes,
+                    info.chunk_size, info.original_size, codecs_col,
+                    chunk_crcs=info.chunk_crcs, fill_byte=fill_byte)
+            else:
+                out, per_chunk_tokens, report = salvage_decode_chunked(
+                    info.payload, info.format, info.chunk_sizes,
+                    info.chunk_size, info.original_size,
+                    chunk_crcs=info.chunk_crcs, fill_byte=fill_byte)
             obslog.event("container", "salvage",
                          recovered=len(report.recovered),
                          lost=len(report.lost),
                          n_chunks=report.n_chunks)
         else:
-            decode = (engine.decode_chunked_with_stats if engine is not None
-                      else decode_chunked_with_stats)
-            out, per_chunk_tokens = decode(
-                info.payload, info.format, info.chunk_sizes, info.chunk_size,
-                info.original_size)
-    if info.original_size == 0:
+            if engine is not None:
+                out, per_chunk_tokens = engine.decode_chunked_with_stats(
+                    info.payload, info.format, info.chunk_sizes,
+                    info.chunk_size, info.original_size,
+                    chunk_codecs=codecs_col)
+            elif codecs_col is not None:
+                out, per_chunk_tokens = decode_chunked_multi(
+                    info.payload, info.format, info.chunk_sizes,
+                    info.chunk_size, info.original_size, codecs_col)
+            else:
+                out, per_chunk_tokens = decode_chunked_with_stats(
+                    info.payload, info.format, info.chunk_sizes,
+                    info.chunk_size, info.original_size)
+    if info.original_size == 0 or codecs_col is not None:
+        # Mixed-codec containers sit outside the lzss-specific GPU cost
+        # model: report data (and salvage) with an empty profile.
         return DecompressResult(data=out, profile=GpuProfile(),
                                 salvage=report)
     decomp = GpuDecompressor(params)

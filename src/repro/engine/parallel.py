@@ -37,6 +37,11 @@ from time import perf_counter
 import numpy as np
 
 from repro import obs
+from repro.codecs.dispatch import (
+    decode_chunked_multi as _decode_multi_serial,
+    encode_chunked_auto as _encode_auto_serial,
+    salvage_decode_chunked_multi as _salvage_multi_serial,
+)
 from repro.errors import WorkerCrashError
 from repro.obs import log as obslog
 from repro.obs import trace
@@ -149,7 +154,9 @@ def merge_encode_results(parts: list[EncodeResult], fmt: TokenFormat,
     )
     return EncodeResult(payload=payload, format=fmt, input_size=input_size,
                         chunk_sizes=chunk_sizes, chunk_size=chunk_size,
-                        stats=stats)
+                        stats=stats,
+                        chunk_codecs=_concat_detail(
+                            [p.chunk_codecs for p in parts]))
 
 
 class ParallelEngine:
@@ -327,17 +334,48 @@ class ParallelEngine:
         parts = self._run_shards(pool, calls)
         return merge_encode_results(parts, fmt, chunk_size, n)
 
+    def encode_chunked_auto(self, data, fmt: TokenFormat, chunk_size: int, *,
+                            codec: str = "auto",
+                            max_chain: int = DEFAULT_MAX_CHAIN,
+                            probe_threshold: float | None = None
+                            ) -> EncodeResult:
+        """Parallel drop-in for :func:`repro.codecs.encode_chunked_auto`.
+
+        Codec choices are chunk-local statistics, so sharding cannot
+        change them; sharded output is byte-identical to serial.
+        """
+        arr = as_u8(data)
+        n = arr.size
+        bounds = self._shards(n, chunk_size)
+        if len(bounds) <= 1:
+            return _encode_auto_serial(arr, fmt, chunk_size, codec=codec,
+                                       max_chain=max_chain,
+                                       probe_threshold=probe_threshold)
+        pool = self._get_pool()
+        calls = [(_encode_auto_serial, (arr[lo:hi], fmt, chunk_size),
+                  dict(codec=codec, max_chain=max_chain,
+                       probe_threshold=probe_threshold))
+                 for lo, hi in bounds]
+        parts = self._run_shards(pool, calls)
+        return merge_encode_results(parts, fmt, chunk_size, n)
+
     def decode_chunked_with_stats(self, payload, fmt: TokenFormat,
                                   chunk_sizes: np.ndarray, chunk_size: int,
                                   output_size: int, *,
                                   chunk_crcs: np.ndarray | None = None,
+                                  chunk_codecs: np.ndarray | None = None,
                                   ) -> tuple[bytes, np.ndarray]:
         """Parallel drop-in for
-        :func:`repro.lzss.decoder.decode_chunked_with_stats`."""
+        :func:`repro.lzss.decoder.decode_chunked_with_stats` (and, with
+        ``chunk_codecs``, :func:`repro.codecs.decode_chunked_multi`)."""
         arr = as_u8(payload)
         chunk_sizes = np.asarray(chunk_sizes, dtype=np.int64)
         bounds = self._shards(output_size, chunk_size)
         if len(bounds) <= 1:
+            if chunk_codecs is not None:
+                return _decode_multi_serial(arr, fmt, chunk_sizes, chunk_size,
+                                            output_size, chunk_codecs,
+                                            chunk_crcs=chunk_crcs)
             return _decode_serial(arr, fmt, chunk_sizes, chunk_size,
                                   output_size, chunk_crcs=chunk_crcs)
         require(int(chunk_sizes.sum()) == arr.size,
@@ -348,6 +386,11 @@ class ParallelEngine:
             c0, c1 = lo // chunk_size, (hi + chunk_size - 1) // chunk_size
             piece = arr[payload_offsets[c0]:payload_offsets[c1]]
             crcs = chunk_crcs[c0:c1] if chunk_crcs is not None else None
+            if chunk_codecs is not None:
+                return _decode_multi_serial(piece, fmt, chunk_sizes[c0:c1],
+                                            chunk_size, hi - lo,
+                                            chunk_codecs[c0:c1],
+                                            chunk_crcs=crcs, first_chunk=c0)
             return _decode_serial(piece, fmt, chunk_sizes[c0:c1], chunk_size,
                                   hi - lo, chunk_crcs=crcs, first_chunk=c0)
 
@@ -362,10 +405,12 @@ class ParallelEngine:
                                chunk_sizes: np.ndarray, chunk_size: int,
                                output_size: int, *,
                                chunk_crcs: np.ndarray | None = None,
+                               chunk_codecs: np.ndarray | None = None,
                                fill_byte: int = 0,
                                ) -> tuple[bytes, np.ndarray, SalvageReport]:
         """Parallel drop-in for
-        :func:`repro.lzss.decoder.salvage_decode_chunked`.
+        :func:`repro.lzss.decoder.salvage_decode_chunked` (and, with
+        ``chunk_codecs``, :func:`repro.codecs.salvage_decode_chunked_multi`).
 
         Chunks are independent, so salvage shards like a normal decode;
         per-shard reports merge into one (indices and byte ranges are
@@ -375,6 +420,12 @@ class ParallelEngine:
         chunk_sizes = np.asarray(chunk_sizes, dtype=np.int64)
         bounds = self._shards(output_size, chunk_size)
         if len(bounds) <= 1:
+            if chunk_codecs is not None:
+                return _salvage_multi_serial(arr, fmt, chunk_sizes,
+                                             chunk_size, output_size,
+                                             chunk_codecs,
+                                             chunk_crcs=chunk_crcs,
+                                             fill_byte=fill_byte)
             return _salvage_serial(arr, fmt, chunk_sizes, chunk_size,
                                    output_size, chunk_crcs=chunk_crcs,
                                    fill_byte=fill_byte)
@@ -387,6 +438,13 @@ class ParallelEngine:
             piece = arr[min(payload_offsets[c0], arr.size):
                         min(payload_offsets[c1], arr.size)]
             crcs = chunk_crcs[c0:c1] if chunk_crcs is not None else None
+            if chunk_codecs is not None:
+                return _salvage_multi_serial(piece, fmt, chunk_sizes[c0:c1],
+                                             chunk_size, hi - lo,
+                                             chunk_codecs[c0:c1],
+                                             chunk_crcs=crcs,
+                                             fill_byte=fill_byte,
+                                             first_chunk=c0)
             return _salvage_serial(piece, fmt, chunk_sizes[c0:c1],
                                    chunk_size, hi - lo, chunk_crcs=crcs,
                                    fill_byte=fill_byte, first_chunk=c0)
@@ -401,6 +459,7 @@ class ParallelEngine:
         for (lo, _hi), (_o, _t, part) in zip(bounds, parts):
             report.recovered.extend(part.recovered)
             report.lost.extend(part.lost)
+            report.unknown_codec.extend(part.unknown_codec)
             report.lost_ranges.extend((lo + a, lo + b)
                                       for a, b in part.lost_ranges)
         return out, tokens, report

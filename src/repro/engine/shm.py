@@ -219,7 +219,9 @@ def _attach(name: str) -> shared_memory.SharedMemory:
 
 
 def encode_frame_job(slab_name: str, length: int,
-                     version: int) -> tuple[int, int | bytes]:
+                     version: int, codec: str = "lzss",
+                     probe_threshold: float | None = None,
+                     ) -> tuple[int, int | bytes]:
     """Pool-worker job: compress the frame sitting in a slab.
 
     Reads ``length`` input bytes from the slab, compresses them through
@@ -228,13 +230,15 @@ def encode_frame_job(slab_name: str, length: int,
     guard).  Returns ``(flags, payload_length)``; if the payload
     unexpectedly cannot fit the slab it is returned by value instead —
     ``(flags, payload_bytes)`` — and the transport degrades to pickle
-    for that frame only.
+    for that frame only.  ``codec``/``probe_threshold`` parameterize
+    the stock encode (see :func:`repro.service.pipeline.encode_payload`).
     """
     from repro.service.pipeline import encode_payload
 
     shm = _attach(slab_name)
     data = bytes(shm.buf[:length])
-    flags, payload = encode_payload(data, version)
+    flags, payload = encode_payload(data, version, codec=codec,
+                                    probe_threshold=probe_threshold)
     if len(payload) > shm.size:  # pragma: no cover - guarded by raw path
         return flags, payload
     shm.buf[:len(payload)] = payload
@@ -267,14 +271,18 @@ def decode_frame_job(slab_name: str, length: int,
 # result and spans join the frame's trace id from the wire.
 
 def encode_frame_job_obs(slab_name: str, length: int, version: int,
-                         trace_id: int = 0) -> tuple[int, int | bytes, dict]:
+                         trace_id: int = 0, codec: str = "lzss",
+                         probe_threshold: float | None = None,
+                         ) -> tuple[int, int | bytes, dict]:
     """:func:`encode_frame_job` + ``(…, obs delta)`` under ``trace_id``."""
     from repro import obs
     from repro.service.pipeline import encode_payload
 
     shm = _attach(slab_name)
     data = bytes(shm.buf[:length])
-    flags, payload = encode_payload(data, version, trace_id=trace_id)
+    flags, payload = encode_payload(data, version, trace_id=trace_id,
+                                    codec=codec,
+                                    probe_threshold=probe_threshold)
     if len(payload) > shm.size:  # pragma: no cover - guarded by raw path
         return flags, payload, obs.delta()
     shm.buf[:len(payload)] = payload

@@ -50,6 +50,9 @@ class SalvageReport:
     ``recovered``/``lost`` are chunk indices; ``lost_ranges`` the
     corresponding ``[lo, hi)`` byte ranges of the *uncompressed* output
     that were filled with ``fill_byte`` instead of data.
+    ``unknown_codec`` is the subset of ``lost`` that failed because the
+    container's codec column named a codec id this library does not
+    know (bit rot in the column, or an archive from a newer library).
     """
 
     n_chunks: int
@@ -57,6 +60,7 @@ class SalvageReport:
     lost: list[int] = field(default_factory=list)
     lost_ranges: list[tuple[int, int]] = field(default_factory=list)
     fill_byte: int = 0
+    unknown_codec: list[int] = field(default_factory=list)
 
     @property
     def complete(self) -> bool:
@@ -70,9 +74,12 @@ class SalvageReport:
     def describe(self) -> str:
         if self.complete:
             return f"all {self.n_chunks} chunks recovered"
-        return (f"recovered {len(self.recovered)}/{self.n_chunks} chunks; "
+        text = (f"recovered {len(self.recovered)}/{self.n_chunks} chunks; "
                 f"lost chunks {self.lost} ({self.lost_bytes} bytes "
                 f"filled with {self.fill_byte:#04x})")
+        if self.unknown_codec:
+            text += f"; unknown codec id on chunks {self.unknown_codec}"
+        return text
 
 
 def _decode_stream(payload: np.ndarray, fmt: TokenFormat, output_size: int,

@@ -44,7 +44,10 @@ class EncodeResult:
 
     ``chunk_sizes`` is the paper's "list of block compression sizes"
     (§III.C): byte length of each independently-decodable chunk stream,
-    present only for chunked encodes.
+    present only for chunked encodes.  ``chunk_codecs`` is the per-chunk
+    codec-id column (:mod:`repro.codecs`) — ``None`` for the classic
+    single-codec lzss path, a uint8 array (container v3) when the
+    dispatcher chose codecs per chunk.
     """
 
     payload: bytes
@@ -53,6 +56,7 @@ class EncodeResult:
     chunk_sizes: np.ndarray | None
     chunk_size: int | None
     stats: EncodeStats
+    chunk_codecs: np.ndarray | None = None
 
 
 def best_matches(

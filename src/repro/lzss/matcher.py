@@ -45,6 +45,7 @@ buffers straight to raw passthrough *before* any match search runs.
 
 from __future__ import annotations
 
+import os
 import threading
 
 import numpy as np
@@ -57,6 +58,7 @@ __all__ = [
     "ScratchArena",
     "hash_chain_best_matches",
     "probe_incompressible",
+    "resolve_probe_threshold",
 ]
 
 DEFAULT_MAX_CHAIN = 64
@@ -71,6 +73,34 @@ _ARENA_CAP = 1 << 20
 PROBE_SAMPLE_BYTES = 1 << 16
 PROBE_MIN_SIZE = 1024
 PROBE_BYTE_ENTROPY_BITS = 7.9
+
+#: Environment override for the probe's order-0 entropy threshold —
+#: the same knob ``culzss compress --probe-threshold`` exposes.
+PROBE_THRESHOLD_ENV = "REPRO_PROBE_THRESHOLD"
+
+
+def resolve_probe_threshold(override: float | None = None) -> float:
+    """The effective store-fallback entropy threshold, in bits/byte.
+
+    Resolution order: explicit ``override`` (a CLI flag or API
+    argument), then the ``REPRO_PROBE_THRESHOLD`` environment variable,
+    then the built-in default.  Values outside (0, 8] are rejected —
+    8 bits/byte would make the probe unsatisfiable, 0 or less would
+    declare everything incompressible.
+    """
+    if override is None:
+        raw = os.environ.get(PROBE_THRESHOLD_ENV, "").strip()
+        if not raw:
+            return PROBE_BYTE_ENTROPY_BITS
+        try:
+            override = float(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"{PROBE_THRESHOLD_ENV}={raw!r} is not a number") from exc
+    if not 0.0 < override <= 8.0:
+        raise ValueError(
+            f"probe threshold must be in (0, 8] bits/byte, got {override}")
+    return float(override)
 
 
 class ScratchArena(threading.local):
@@ -278,7 +308,7 @@ def probe_incompressible(
     *,
     sample_bytes: int = PROBE_SAMPLE_BYTES,
     min_size: int = PROBE_MIN_SIZE,
-    byte_entropy_bits: float = PROBE_BYTE_ENTROPY_BITS,
+    byte_entropy_bits: float | None = None,
 ) -> bool:
     """Cheap pre-flight check: is ``data`` almost certainly incompressible?
 
@@ -294,6 +324,7 @@ def probe_incompressible(
     orders of magnitude below one matcher chain round.
     """
     obs.inc("matcher.probe_calls")
+    byte_entropy_bits = resolve_probe_threshold(byte_entropy_bits)
     arr = as_u8(data)
     if arr.size < max(min_size, 2):
         return False

@@ -75,6 +75,11 @@ __all__ = [
 #: exporter always shows the full schema — a scrape taken before the
 #: first crash still carries ``engine.worker_crashes 0``.
 COUNTER_KEYS = (
+    "codec.chunks_lz4s",
+    "codec.chunks_lzss",
+    "codec.chunks_lzss_huffman",
+    "codec.chunks_store",
+    "codec.store_fallbacks",
     "container.crc_checks",
     "container.crc_failures",
     "container.salvage_chunks_lost",
@@ -93,6 +98,10 @@ COUNTER_KEYS = (
 
 #: Histogram families (seconds unless named otherwise), same rationale.
 HISTOGRAM_KEYS = (
+    "codec.ratio_lz4s",
+    "codec.ratio_lzss",
+    "codec.ratio_lzss_huffman",
+    "codec.ratio_store",
     "decode.stream_seconds",
     "encode.fixup_seconds",
     "encode.match_seconds",

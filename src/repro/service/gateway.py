@@ -36,16 +36,32 @@ from repro.service.pipeline import EgressPipeline, IngressPipeline
 from repro.service.protocol import (
     FLAG_ACK,
     FLAG_END,
+    FLAG_NEG,
     Frame,
     FrameError,
     pack_ack,
+    pack_neg,
     read_frame,
     unpack_ack,
+    unpack_neg,
     write_frame,
 )
 from repro.util.checksum import crc32
 
 __all__ = ["GatewayClient", "GatewayServer", "StreamAck", "retry_with_backoff"]
+
+
+def _codec_id_set(codecs) -> frozenset[int]:
+    """Normalize a mix of codec names and ids into a set of wire ids.
+
+    ``None`` means "everything the registry knows" — resolved at call
+    time so late-registered codecs are included.
+    """
+    from repro.codecs import get_codec, known_codec_ids
+
+    if codecs is None:
+        return known_codec_ids()
+    return frozenset(get_codec(c).codec_id for c in codecs)
 
 #: Exception types worth retrying: refused/reset connections, socket
 #: errors, and operation timeouts (asyncio.TimeoutError is distinct
@@ -154,6 +170,14 @@ class GatewayServer:
     every scrape (the Prometheus cadence is the sampling cadence) and
     its judgement lands both in ``/slo.json`` and as ``culzss_slo_*``
     gauges in ``/metrics``.
+
+    ``accept_codecs`` is the set of container codecs (names or wire
+    ids) this gateway answers for in the ``NEG`` handshake; ``None``
+    accepts every codec the registry knows.  The handshake is
+    advisory — the decode side always trusts the self-describing
+    container and raises on genuinely unknown codec ids — but a client
+    that honors its receipt never ships a container this gateway would
+    refuse.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
@@ -163,11 +187,13 @@ class GatewayServer:
                  metrics_port: int | None = None,
                  metrics_timeout: float = 2.0,
                  slo: SloMonitor | None = None,
+                 accept_codecs=None,
                  deliver: Callable[[int, int, bytes], Awaitable[None]]
                  | None = None) -> None:
         self.host = host
         self.port = port
         self.workers = workers
+        self.accept_codecs = accept_codecs
         self.queue_depth = queue_depth
         self.use_shm = use_shm
         self.timeout = timeout
@@ -304,6 +330,22 @@ class GatewayServer:
                 frame = await read_frame(reader, timeout=self.timeout)
                 if frame is None:
                     return
+                if frame.is_neg:
+                    # Codec negotiation rides the data connection but
+                    # never reaches the egress pipeline: answer with
+                    # the intersection and keep reading.
+                    offered = unpack_neg(frame.payload)
+                    accepted = offered & _codec_id_set(self.accept_codecs)
+                    await write_frame(
+                        writer,
+                        Frame(stream_id=frame.stream_id, seq=frame.seq,
+                              flags=FLAG_NEG, payload=pack_neg(accepted)),
+                        timeout=self.timeout)
+                    m.inc("server.neg_exchanges")
+                    obslog.event("service", "codec_negotiation",
+                                 offered=sorted(offered),
+                                 accepted=sorted(accepted))
+                    continue
                 yield frame
 
         async def deliver(stream_id: int, seq: int, data: bytes) -> None:
@@ -377,25 +419,41 @@ class GatewayClient:
     read; ``use_shm`` selects the shared-memory frame transport into
     the compress pool (default: automatic — on whenever the pipeline
     owns a process pool).
+
+    ``codec`` selects the container codec for outgoing frames (any
+    registered name, or ``"auto"`` for the per-chunk dispatcher);
+    ``probe_threshold`` tunes the incompressibility probe's
+    bits-per-byte cutoff.  A non-default codec triggers a ``NEG``
+    handshake on connect: the client offers the codec ids it may emit
+    and, if the egress gateway does not accept them all, falls back to
+    the classic LZSS pipeline (``client.codec_fallbacks``) rather than
+    ship containers the peer would refuse.  The peer's answer is kept
+    in ``accepted_codecs``.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  version: int = 2, workers: int = 2, queue_depth: int = 8,
                  timeout: float = 30.0, retries: int = 3,
                  backoff: float = 0.05, metrics: Metrics | None = None,
-                 use_shm: bool | None = None, executor=None) -> None:
+                 use_shm: bool | None = None, executor=None,
+                 codec: str = "lzss",
+                 probe_threshold: float | None = None) -> None:
         self.host = host
         self.port = port
         self.version = version
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.codec = codec
+        self.accepted_codecs: frozenset[int] | None = None
         self.metrics = metrics or Metrics()
         self._ingress = IngressPipeline(version=version, workers=workers,
                                         queue_depth=queue_depth,
                                         metrics=self.metrics,
                                         use_shm=use_shm,
-                                        executor=executor)
+                                        executor=executor,
+                                        codec=codec,
+                                        probe_threshold=probe_threshold)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
@@ -408,6 +466,32 @@ class GatewayClient:
             _open, retries=self.retries, base_delay=self.backoff,
             metrics=self.metrics, name="connect")
         self.metrics.inc("client.connects")
+        if self.codec != "lzss":
+            await self._negotiate()
+
+    async def _negotiate(self) -> None:
+        """Offer our codec-id set; downgrade to lzss on a short answer."""
+        from repro.codecs import get_codec
+
+        offered = (_codec_id_set(None) if self.codec == "auto"
+                   else frozenset({get_codec(self.codec).codec_id}))
+        await write_frame(self._writer,
+                          Frame(stream_id=0, seq=0, flags=FLAG_NEG,
+                                payload=pack_neg(offered)),
+                          timeout=self.timeout)
+        reply = await read_frame(self._reader, timeout=self.timeout)
+        if reply is None or not reply.is_neg:
+            raise FrameError(
+                "gateway closed during codec negotiation")
+        self.accepted_codecs = unpack_neg(reply.payload)
+        self.metrics.inc("client.neg_exchanges")
+        if not offered <= self.accepted_codecs:
+            self.metrics.inc("client.codec_fallbacks")
+            obslog.event("service", "codec_fallback",
+                         requested=self.codec, offered=sorted(offered),
+                         accepted=sorted(self.accepted_codecs))
+            self.codec = "lzss"
+        self._ingress.codec = self.codec
 
     async def __aenter__(self) -> "GatewayClient":
         await self.connect()

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor
+from functools import partial
 from time import perf_counter
 from typing import AsyncIterator, Awaitable, Callable, Iterable
 
@@ -66,7 +67,8 @@ __all__ = [
 
 def encode_payload(data: bytes, version: int = 2, *,
                    workers: int | None = None,
-                   trace_id: int = 0) -> tuple[int, bytes]:
+                   trace_id: int = 0, codec: str = "lzss",
+                   probe_threshold: float | None = None) -> tuple[int, bytes]:
     """Compress one buffer into ``(flags, payload)``.
 
     The raw-passthrough guard: if the CULZSS container comes out no
@@ -74,13 +76,17 @@ def encode_payload(data: bytes, version: int = 2, *,
     ship the original bytes with :data:`FLAG_RAW` — so a frame never
     expands its buffer by more than :data:`FRAME_HEADER_SIZE` bytes.
     The entropy probe short-circuits obviously incompressible buffers
-    to that same raw path before any match search runs.
+    to that same raw path before any match search runs;
+    ``probe_threshold`` tunes its bits-per-byte cutoff (defaulting to
+    the ``REPRO_PROBE_THRESHOLD`` environment override).
 
     ``workers`` shards the encode across a :class:`repro.engine.
     ParallelEngine`; ``trace_id`` joins the frame span (and everything
     nested under it — engine shards, encoder stages) to an existing
     :mod:`repro.obs` trace, e.g. the id the ingress stamped on the
-    frame header.
+    frame header.  ``codec`` selects the container codec per
+    :func:`repro.core.gpu_compress` (``"auto"`` engages the per-chunk
+    dispatcher and a v3 container).
     """
     from repro.core import CompressionParams, gpu_compress
     from repro.lzss.matcher import probe_incompressible
@@ -88,11 +94,18 @@ def encode_payload(data: bytes, version: int = 2, *,
     data = bytes(data)
     with trace.span("gateway.frame", trace_id=trace_id or None,
                     op="encode", size=len(data)):
-        if probe_incompressible(data):
+        if probe_incompressible(data, byte_entropy_bits=probe_threshold):
+            obslog.event("codec", "store_fallback", scope="frame",
+                         reason="probe", size=len(data),
+                         trace_id=trace_id, threshold=probe_threshold)
             return FLAG_RAW, data
         container = gpu_compress(data, CompressionParams(version=version),
-                                 workers=workers).data
+                                 workers=workers, codec=codec,
+                                 probe_threshold=probe_threshold).data
         if len(container) >= len(data):
+            obslog.event("codec", "store_fallback", scope="frame",
+                         reason="expanded", size=len(data),
+                         container_size=len(container), trace_id=trace_id)
             return FLAG_RAW, data
         return 0, container
 
@@ -110,9 +123,13 @@ def decode_payload(flags: int, payload: bytes, *,
 
 
 def encode_payload_obs(data: bytes, version: int = 2,
-                       trace_id: int = 0) -> tuple[int, bytes, dict]:
+                       trace_id: int = 0, codec: str = "lzss",
+                       probe_threshold: float | None = None,
+                       ) -> tuple[int, bytes, dict]:
     """Pool-worker pickle-path job: stock encode + the worker's obs delta."""
-    flags, payload = encode_payload(data, version, trace_id=trace_id)
+    flags, payload = encode_payload(data, version, trace_id=trace_id,
+                                    codec=codec,
+                                    probe_threshold=probe_threshold)
     return flags, payload, obs.delta()
 
 
@@ -247,15 +264,24 @@ class IngressPipeline(_PooledStage):
     shared-memory frame transport; the default (``None``) enables it
     exactly when the pipeline owns a process pool and runs the stock
     codec job.
+
+    ``codec``/``probe_threshold`` parameterize the stock encode job
+    (see :func:`encode_payload`); both are plain attributes, so the
+    gateway client may still downgrade ``codec`` after negotiation and
+    the next :meth:`run` picks the change up.  Custom ``job`` callables
+    ignore them.
     """
 
     def __init__(self, version: int = 2, workers: int = 2,
                  queue_depth: int = 8, metrics: Metrics | None = None,
                  executor: Executor | None = None,
                  job: Callable[[bytes, int], tuple[int, bytes]] | None = None,
-                 use_shm: bool | None = None) -> None:
+                 use_shm: bool | None = None, codec: str = "lzss",
+                 probe_threshold: float | None = None) -> None:
         super().__init__(workers, queue_depth, metrics, executor)
         self.version = version
+        self.codec = codec
+        self.probe_threshold = probe_threshold
         self._job = job or encode_payload
         self._stock_job = job is None
         if use_shm is None:
@@ -277,6 +303,12 @@ class IngressPipeline(_PooledStage):
         # Stock jobs ship an obs delta (worker metrics + spans) home with
         # each result; custom jobs keep their two-tuple contract.
         traced = self._stock_job and obs.enabled()
+        codec, threshold = self.codec, self.probe_threshold
+        if self._stock_job and (codec != "lzss" or threshold is not None):
+            job = partial(encode_payload, codec=codec,
+                          probe_threshold=threshold)
+        else:
+            job = self._job
 
         def dispatch(data: bytes, tid: int):
             """Submit one frame to the pool; returns ``(future, lease)``.
@@ -293,11 +325,11 @@ class IngressPipeline(_PooledStage):
                     if traced:
                         fut = loop.run_in_executor(
                             self._pool(), encode_frame_job_obs, lease.name,
-                            n, self.version, tid)
+                            n, self.version, tid, codec, threshold)
                     else:
                         fut = loop.run_in_executor(
                             self._pool(), encode_frame_job, lease.name, n,
-                            self.version)
+                            self.version, codec, threshold)
                     m.inc("ingress.shm_frames")
                     return fut, lease
                 if slabs is not None:
@@ -308,22 +340,22 @@ class IngressPipeline(_PooledStage):
                 if traced:
                     return loop.run_in_executor(
                         self._pool(), encode_payload_obs, data,
-                        self.version, tid), None
-                return loop.run_in_executor(self._pool(), self._job, data,
+                        self.version, tid, codec, threshold), None
+                return loop.run_in_executor(self._pool(), job, data,
                                             self.version), None
             except _CRASH_ERRORS:
                 if lease is not None:
                     lease.release()
                 self._crashed("ingress", tid)
             try:
-                return loop.run_in_executor(self._pool(), self._job, data,
+                return loop.run_in_executor(self._pool(), job, data,
                                             self.version), None
             except _CRASH_ERRORS:
                 self._crashed("ingress", tid)
                 m.inc("ingress.serial_fallbacks")
                 obslog.event("service", "serial_fallback", stage="ingress",
                              trace_id=tid, at="submit")
-                return loop.run_in_executor(None, self._job, data,
+                return loop.run_in_executor(None, job, data,
                                             self.version), None
 
         async def submit() -> int:
@@ -332,12 +364,16 @@ class IngressPipeline(_PooledStage):
                 data = bytes(raw)
                 lease = None
                 tid = trace.new_trace_id() if traced else 0
-                if self._stock_job and probe_incompressible(data):
+                if self._stock_job and probe_incompressible(
+                        data, byte_entropy_bits=threshold):
                     # Near-random buffer: the codec would only rediscover
                     # FLAG_RAW the expensive way — skip the pool outright.
                     fut = loop.create_future()
                     fut.set_result((FLAG_RAW, data))
                     m.inc("ingress.probe_raw_frames")
+                    obslog.event("codec", "store_fallback", scope="frame",
+                                 reason="probe", size=len(data),
+                                 trace_id=tid, threshold=threshold)
                 else:
                     fut, lease = dispatch(data, tid)
                 enq = perf_counter()
@@ -367,7 +403,7 @@ class IngressPipeline(_PooledStage):
                                      stage="ingress", trace_id=tid,
                                      at="result", seq=seq)
                         out = await loop.run_in_executor(
-                            None, self._job, data, self.version)
+                            None, job, data, self.version)
                 finally:
                     if lease is not None and out is None:
                         lease.release()

@@ -37,7 +37,14 @@ Payload semantics by flags:
   frames in the stream, payload empty;
 - ``ACK``: egress → ingress delivery receipt; payload is
   :func:`pack_ack` (frames delivered, bytes delivered, running CRC-32
-  of the delivered byte stream).
+  of the delivered byte stream);
+- ``NEG``: codec negotiation.  The ingress opens a stream by offering
+  the set of container codec ids it may use (:func:`pack_neg`, one
+  byte per id); the egress replies with a NEG frame carrying the
+  intersection with what it accepts.  Ids the receiver never echoes
+  must not appear in subsequent containers.  Streams that only ever
+  use the classic LZSS pipeline skip the exchange entirely, keeping
+  historical traffic byte-identical.
 
 The header carries its own CRC so a desynchronized or corrupted stream
 fails loudly at the frame boundary instead of feeding garbage to the
@@ -56,6 +63,7 @@ from repro.util.checksum import crc32
 __all__ = [
     "FLAG_ACK",
     "FLAG_END",
+    "FLAG_NEG",
     "FLAG_RAW",
     "FRAME_HEADER_SIZE",
     "FRAME_HEADER_SIZE_V2",
@@ -68,8 +76,10 @@ __all__ = [
     "decode_frame",
     "encode_frame",
     "pack_ack",
+    "pack_neg",
     "read_frame",
     "unpack_ack",
+    "unpack_neg",
     "write_frame",
 ]
 
@@ -84,7 +94,8 @@ _ACK_FMT = "<QQI"
 FLAG_RAW = 1
 FLAG_END = 2
 FLAG_ACK = 4
-_KNOWN_FLAGS = FLAG_RAW | FLAG_END | FLAG_ACK
+FLAG_NEG = 8
+_KNOWN_FLAGS = FLAG_RAW | FLAG_END | FLAG_ACK | FLAG_NEG
 
 #: Sanity bound: no single frame payload above 1 GiB.  Protects the
 #: receiver from allocating on a corrupted (but CRC-valid-header…)
@@ -121,6 +132,10 @@ class Frame:
     @property
     def is_ack(self) -> bool:
         return bool(self.flags & FLAG_ACK)
+
+    @property
+    def is_neg(self) -> bool:
+        return bool(self.flags & FLAG_NEG)
 
     @property
     def wire_size(self) -> int:
@@ -197,6 +212,22 @@ def unpack_ack(payload: bytes) -> tuple[int, int, int]:
     if len(payload) != struct.calcsize(_ACK_FMT):
         raise FrameError("malformed ACK payload")
     return struct.unpack(_ACK_FMT, payload)
+
+
+def pack_neg(codec_ids) -> bytes:
+    """NEG payload: sorted, deduplicated codec ids, one byte each."""
+    ids = sorted(set(int(i) for i in codec_ids))
+    if any(not 1 <= i <= 255 for i in ids):
+        raise FrameError(f"codec ids must be in 1..255, got {ids}")
+    return bytes(ids)
+
+
+def unpack_neg(payload: bytes) -> frozenset[int]:
+    if len(payload) > 255:
+        raise FrameError("malformed NEG payload")
+    if 0 in payload:
+        raise FrameError("codec id 0 is invalid in NEG payload")
+    return frozenset(payload)
 
 
 async def read_frame(reader: asyncio.StreamReader,

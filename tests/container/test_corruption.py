@@ -198,6 +198,92 @@ class TestV1Compat:
         assert res.data[:n_ok] == data[:n_ok]
 
 
+class TestCodecColumn:
+    """Chaos for the container v3 codec column.
+
+    The column has no checksum of its own, but every value it can
+    legally take is registry-checked: a byte rotted to an unknown id
+    is corruption (strict raises, salvage fills and reports), and a
+    byte rotted to a *different known* id sends the payload to the
+    wrong decoder, which must fail its own framing checks rather than
+    fabricate output.
+    """
+
+    @pytest.fixture(scope="class")
+    def v3_blob(self, payload) -> bytes:
+        return gpu_compress(payload, codec="auto").data
+
+    @staticmethod
+    def _column_offset(blob: bytes, c: int) -> int:
+        n = int(unpack_container(blob, strict=False).chunk_sizes.size)
+        # v3 layout: header, <u4 size table, <u4 CRC table, u8 codecs.
+        return HEADER_SIZE + 4 * n + 4 * n + c
+
+    def test_blob_is_v3_and_round_trips(self, payload, v3_blob):
+        info = unpack_container(v3_blob)
+        assert info.version == 3
+        assert info.chunk_codecs is not None
+        assert gpu_decompress(v3_blob).data == payload
+
+    def test_unknown_codec_id_strict(self, v3_blob):
+        rng = np.random.default_rng(SEED)
+        k = int(rng.integers(unpack_container(v3_blob).chunk_sizes.size))
+        bad = bytearray(v3_blob)
+        bad[self._column_offset(v3_blob, k)] = 0xFF
+        with pytest.raises(CorruptChunkError) as err:
+            gpu_decompress(bytes(bad))
+        assert err.value.chunk_index == k
+        assert "codec id 255" in str(err.value)
+
+    def test_unknown_codec_id_salvage(self, payload, v3_blob):
+        rng = np.random.default_rng(SEED)
+        n = int(unpack_container(v3_blob).chunk_sizes.size)
+        k = int(rng.integers(n))
+        bad = bytearray(v3_blob)
+        bad[self._column_offset(v3_blob, k)] = 0xFF
+        res = gpu_decompress(bytes(bad), errors="salvage")
+        report = res.salvage
+        assert report.unknown_codec == [k]
+        assert report.lost == [k]
+        assert report.recovered == [c for c in range(n) if c != k]
+        lo, hi = k * CHUNK, min((k + 1) * CHUNK, len(payload))
+        assert res.data[lo:hi] == b"\x00" * (hi - lo)
+        assert res.data[:lo] == payload[:lo]
+        assert res.data[hi:] == payload[hi:]
+        assert f"unknown codec id on chunks [{k}]" in report.describe()
+
+    def test_wrong_known_codec_id_never_silent(self, payload, v3_blob):
+        # Rot a column byte to the *store* id: the compressed slice no
+        # longer matches the chunk's raw size, so strict decode must
+        # raise rather than hand back the compressed bytes as data.
+        info = unpack_container(v3_blob)
+        from repro.codecs import STORE_CODEC_ID
+        candidates = [c for c in range(int(info.chunk_sizes.size))
+                      if int(info.chunk_codecs[c]) != STORE_CODEC_ID
+                      and int(info.chunk_sizes[c]) !=
+                      min(CHUNK, len(payload) - c * CHUNK)]
+        assert candidates, "corpus produced no compressed chunk"
+        bad = bytearray(v3_blob)
+        bad[self._column_offset(v3_blob, candidates[0])] = STORE_CODEC_ID
+        with pytest.raises(ReproError):
+            gpu_decompress(bytes(bad))
+
+    def test_codec_column_rot_with_payload_rot_salvages(self, payload,
+                                                        v3_blob):
+        # Combined damage: one chunk's column byte and another chunk's
+        # payload both rotted — salvage reports each for its own reason.
+        n = int(unpack_container(v3_blob).chunk_sizes.size)
+        assert n >= 4
+        bad = corrupt_chunks(v3_blob, [2], seed=SEED)
+        bad = bytearray(bad)
+        bad[self._column_offset(v3_blob, 0)] = 0xEE
+        res = gpu_decompress(bytes(bad), errors="salvage")
+        assert res.salvage.unknown_codec == [0]
+        assert sorted(res.salvage.lost) == [0, 2]
+        lo = 3 * CHUNK
+        assert res.data[lo:] == payload[lo:]
+
+
 def test_invalid_errors_mode(blob):
     with pytest.raises(ValueError, match="strict"):
         gpu_decompress(blob, errors="ignore")

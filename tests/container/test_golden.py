@@ -35,7 +35,7 @@ V2_GOLDEN_V1 = (
     "59edf6cb2596dc0605b9dd2e565b0db642150c0e0600"
 )
 
-# --- container version 2 (default write format) ------------------------
+# --- container version 2 (default write format for single-codec) -------
 
 SERIAL_GOLDEN = (
     "434c5a5302010000740000000000000000000000000000007578c389ed315aa7"
@@ -79,3 +79,49 @@ def test_frozen_blobs_still_decode():
 def test_api_blob_round_trips():
     buf = gpu_compress(PAYLOAD, CompressionParams(version=2))
     assert gpu_decompress(buf.data).data == PAYLOAD
+
+
+# --- container version 3 (per-chunk codec column) -----------------------
+
+V2_GOLDEN_V3 = (
+    "434c5a530303010074000000000000004000000002000000d07cff9aa42a7624"
+    "17000000170000004f23423ca20bfb610202b3dbed964b2dba40060bb9dd2e56"
+    "5b0db642150c0e09009059edf6cb2596dc0605b9dd2e565b0db642150c0e0600"
+)
+
+
+def test_v3_container_bytes_frozen():
+    # Version-gated upgrade of a plain lzss result: v2 bytes plus the
+    # version byte, a fresh header CRC, and a uniform codec column.
+    blob = pack_container(encode_chunked(PAYLOAD, CUDA_V2, 64), version=3)
+    assert blob.hex() == V2_GOLDEN_V3
+
+
+def test_auto_dispatch_reproduces_v3_bytes():
+    # Both 64-byte chunks sit below the dispatcher's probe floor, so
+    # auto picks lzss for each — and must emit the exact same blob as
+    # the version-gated lzss writer (same payload, same column).
+    from repro.codecs.dispatch import encode_chunked_auto
+
+    blob = pack_container(encode_chunked_auto(PAYLOAD, CUDA_V2, 64,
+                                              codec="auto"))
+    assert blob.hex() == V2_GOLDEN_V3
+
+
+def test_frozen_v3_blob_still_decodes():
+    assert gpu_decompress(bytes.fromhex(V2_GOLDEN_V3)).data == PAYLOAD
+
+
+def test_single_codec_results_still_write_v2_by_default():
+    # The migration rule that keeps V2_GOLDEN valid forever: a result
+    # without a codec column defaults to yesterday's format, and the
+    # codec column cannot be smuggled into a pre-v3 container.
+    import pytest
+
+    from repro.codecs.dispatch import encode_chunked_auto
+
+    assert pack_container(
+        encode_chunked(PAYLOAD, CUDA_V2, 64)).hex() == V2_GOLDEN
+    with_column = encode_chunked_auto(PAYLOAD, CUDA_V2, 64, codec="auto")
+    with pytest.raises(ValueError, match="v2"):
+        pack_container(with_column, version=2)

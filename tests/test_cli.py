@@ -292,3 +292,79 @@ def test_serve_help_documents_metrics_port(capsys):
     with pytest.raises(SystemExit):
         build_parser().parse_args(["serve", "--help"])
     assert "--metrics-port" in capsys.readouterr().out
+
+
+# ------------------------------------------------------ codec dispatch
+
+def test_compress_codec_auto_round_trips(sample_file, tmp_path, capsys):
+    comp = tmp_path / "auto.cz"
+    restored = tmp_path / "restored.bin"
+    assert main(["compress", str(sample_file), str(comp),
+                 "--codec", "auto"]) == 0
+    out = capsys.readouterr().out
+    assert "culzss-v2[auto]:" in out
+    from repro.container import unpack_container
+
+    info = unpack_container(comp.read_bytes())
+    assert info.version == 3
+    assert info.chunk_codecs is not None
+    assert main(["decompress", str(comp), str(restored)]) == 0
+    assert restored.read_bytes() == sample_file.read_bytes()
+
+
+@pytest.mark.parametrize("codec", ["store", "lz4s", "lzss-huffman"])
+def test_compress_every_codec_round_trips(codec, sample_file, tmp_path):
+    comp = tmp_path / "c.cz"
+    restored = tmp_path / "r.bin"
+    assert main(["compress", str(sample_file), str(comp),
+                 "--codec", codec]) == 0
+    assert main(["decompress", str(comp), str(restored)]) == 0
+    assert restored.read_bytes() == sample_file.read_bytes()
+
+
+def test_compress_default_codec_still_writes_v2(sample_file, tmp_path):
+    comp = tmp_path / "classic.cz"
+    assert main(["compress", str(sample_file), str(comp)]) == 0
+    from repro.container import unpack_container
+
+    info = unpack_container(comp.read_bytes())
+    assert info.version == 2
+    assert info.chunk_codecs is None
+
+
+def test_compress_codec_rejected_for_other_systems(sample_file, tmp_path,
+                                                   capsys):
+    rc = main(["compress", str(sample_file), str(tmp_path / "x"),
+               "--system", "bzip2", "--codec", "auto"])
+    assert rc == 2
+    assert "--codec" in capsys.readouterr().err
+
+
+def test_compress_probe_threshold_validated(sample_file, tmp_path, capsys):
+    rc = main(["compress", str(sample_file), str(tmp_path / "x"),
+               "--codec", "auto", "--probe-threshold", "9.5"])
+    assert rc == 2
+    assert "probe threshold" in capsys.readouterr().err
+
+
+def test_info_lists_per_chunk_codecs(sample_file, tmp_path, capsys):
+    comp = tmp_path / "auto.cz"
+    main(["compress", str(sample_file), str(comp), "--codec", "auto"])
+    capsys.readouterr()
+    assert main(["info", str(comp)]) == 0
+    out = capsys.readouterr().out
+    assert "container version: 3" in out
+    assert "per-chunk codecs:" in out
+    assert "chunk 0: codec" in out
+    assert "ratio" in out
+
+
+@pytest.mark.slow
+def test_benchgate_suite_codecs_uses_committed_baseline(capsys):
+    # The committed BENCH_codecs.json is the default baseline; the gate
+    # must find it and compare every codec.<name>.<op> case.
+    rc = main(["benchgate", "--suite", "codecs", "--quick"])
+    out = capsys.readouterr().out
+    assert "codec.auto.encode" in out
+    assert "codec.lz4s.decode" in out
+    assert rc in (0, 1)  # a noisy host may regress; it must still compare
