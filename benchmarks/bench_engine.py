@@ -41,7 +41,13 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 import numpy as np  # noqa: E402
 
-from harness import bench_path, measure, publish, summarize  # noqa: E402
+from harness import (  # noqa: E402
+    bench_path,
+    capture_stages,
+    measure,
+    publish,
+    summarize,
+)
 from repro.datasets import generate  # noqa: E402
 from repro.engine import ParallelEngine, SlabPool  # noqa: E402
 from repro.lzss.encoder import encode_chunked  # noqa: E402
@@ -260,20 +266,23 @@ def main(argv: list[str] | None = None) -> int:
     size_bytes = int(size_mb * (1 << 20))
     frame_bytes, frames = ((1 << 16, 16) if args.quick else (1 << 20, 32))
 
-    if args.trace:
-        from repro import obs
-        from repro.obs import trace as obs_trace
+    with capture_stages() as cap:
+        if args.trace:
+            from repro import obs
+            from repro.obs import trace as obs_trace
 
-        obs_trace.clear()
-        with obs_trace.span("bench.engine_sweep", trace_id=obs.new_trace_id(),
-                            quick=args.quick):
+            obs_trace.clear()
+            with obs_trace.span("bench.engine_sweep",
+                                trace_id=obs.new_trace_id(),
+                                quick=args.quick):
+                cases, all_identical = bench_engine(datasets, size_bytes,
+                                                    workers, repeats)
+            trace_path = obs.write_chrome_trace(args.trace,
+                                                obs_trace.spans())
+            print(f"wrote {trace_path} ({len(obs_trace.spans())} spans)")
+        else:
             cases, all_identical = bench_engine(datasets, size_bytes,
                                                 workers, repeats)
-        trace_path = obs.write_chrome_trace(args.trace, obs_trace.spans())
-        print(f"wrote {trace_path} ({len(obs_trace.spans())} spans)")
-    else:
-        cases, all_identical = bench_engine(datasets, size_bytes,
-                                            workers, repeats)
     cases.update(bench_transport(frame_bytes, frames, repeats))
 
     out_path = Path(args.output) if args.output else bench_path("engine")
@@ -282,7 +291,7 @@ def main(argv: list[str] | None = None) -> int:
                           "workers": workers, "datasets": datasets,
                           "chunk_size": CHUNK_SIZE,
                           "frame_bytes": frame_bytes, "frames": frames},
-                  path=out_path)
+                  path=out_path, stages=cap.stages)
     text = render(run, all_identical)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "bench_engine.txt").write_text(text + "\n")

@@ -31,6 +31,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 from repro.bench.stats import (  # noqa: E402
     SCHEMA_VERSION,
     append_run,
+    capture_stages,
     fingerprint,
     latest_run,
     load_trajectory,
@@ -43,6 +44,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "append_run",
     "bench_path",
+    "capture_stages",
     "fingerprint",
     "latest_run",
     "load_trajectory",
@@ -60,8 +62,15 @@ def bench_path(name: str) -> Path:
 
 def publish(name: str, mode: str, cases: dict, *,
             params: dict | None = None, path: Path | None = None,
-            keep: int = 50) -> dict:
-    """Append one statistical run to ``BENCH_<name>.json``; return it."""
+            stages: dict | None = None, keep: int = 50) -> dict:
+    """Append one statistical run to ``BENCH_<name>.json``; return it.
+
+    ``stages`` — a :class:`capture_stages` breakdown spanning the whole
+    benchmark — lands in the run's meta, so the trajectory records
+    where the measured time went, not just how much there was.
+    """
     run = new_run(name, mode, cases, params=params, repo_root=REPO_ROOT)
+    if stages:
+        run["meta"]["stages"] = stages
     append_run(path or bench_path(name), run, keep=keep)
     return run

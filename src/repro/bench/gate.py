@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.bench.stats import (
     append_run,
+    capture_stages,
     latest_run,
     load_trajectory,
     measure,
@@ -36,7 +37,8 @@ from repro.bench.stats import (
     summarize,
 )
 
-__all__ = ["CODEC_BENCH", "GATE_BENCH", "codec_cases", "compare_runs",
+__all__ = ["CODEC_BENCH", "GATE_BENCH", "attribute_case",
+           "attribute_regressions", "codec_cases", "compare_runs",
            "gate_cases", "run_gate"]
 
 #: trajectory runs are tagged with this bench name so gate baselines
@@ -75,26 +77,32 @@ def gate_cases(size_bytes: int, *, repeats: int, warmup: int = 1,
                          dtype=np.uint8)
     cases: dict[str, dict] = {}
 
-    enc = measure(lambda: encoder.encode_chunked(data, CUDA_V2, CHUNK_SIZE),
-                  repeats=repeats, warmup=warmup)
+    with capture_stages() as cap:
+        enc = measure(
+            lambda: encoder.encode_chunked(data, CUDA_V2, CHUNK_SIZE),
+            repeats=repeats, warmup=warmup)
     result = encoder.encode_chunked(data, CUDA_V2, CHUNK_SIZE)
     cases["encode_v2"] = summarize(
-        enc, mb_s=round(size_bytes / max(min(enc), 1e-9) / 1e6, 3))
+        enc, mb_s=round(size_bytes / max(min(enc), 1e-9) / 1e6, 3),
+        stages=cap.stages)
 
-    dec = measure(
-        lambda: decoder.decode_chunked_with_stats(
-            result.payload, CUDA_V2, result.chunk_sizes, CHUNK_SIZE,
-            result.input_size),
-        repeats=repeats, warmup=warmup)
+    with capture_stages() as cap:
+        dec = measure(
+            lambda: decoder.decode_chunked_with_stats(
+                result.payload, CUDA_V2, result.chunk_sizes, CHUNK_SIZE,
+                result.input_size),
+            repeats=repeats, warmup=warmup)
     cases["decode_v2"] = summarize(
-        dec, mb_s=round(size_bytes / max(min(dec), 1e-9) / 1e6, 3))
+        dec, mb_s=round(size_bytes / max(min(dec), 1e-9) / 1e6, 3),
+        stages=cap.stages)
 
     from repro import container
 
     blob = container.pack_container(result)
-    pack = measure(lambda: container.unpack_container(blob),
-                   repeats=repeats, warmup=warmup)
-    cases["container_unpack"] = summarize(pack)
+    with capture_stages() as cap:
+        pack = measure(lambda: container.unpack_container(blob),
+                       repeats=repeats, warmup=warmup)
+    cases["container_unpack"] = summarize(pack, stages=cap.stages)
     return cases
 
 
@@ -118,27 +126,31 @@ def codec_cases(size_bytes: int, *, repeats: int, warmup: int = 1,
                          dtype=np.uint8)
     cases: dict[str, dict] = {}
     for name in [*codec_names(), "auto"]:
-        enc = measure(
-            lambda: encode_chunked_auto(data, CUDA_V2, CHUNK_SIZE,
-                                        codec=name),
-            repeats=repeats, warmup=warmup)
+        with capture_stages() as cap:
+            enc = measure(
+                lambda: encode_chunked_auto(data, CUDA_V2, CHUNK_SIZE,
+                                            codec=name),
+                repeats=repeats, warmup=warmup)
         result = encode_chunked_auto(data, CUDA_V2, CHUNK_SIZE, codec=name)
         cases[f"codec.{name}.encode"] = summarize(
             enc,
             mb_s=round(size_bytes / max(min(enc), 1e-9) / 1e6, 3),
-            ratio=round(len(result.payload) / size_bytes, 4))
-        dec = measure(
-            lambda: decode_chunked_multi(
-                result.payload, CUDA_V2, result.chunk_sizes, CHUNK_SIZE,
-                result.input_size, result.chunk_codecs),
-            repeats=repeats, warmup=warmup)
+            ratio=round(len(result.payload) / size_bytes, 4),
+            stages=cap.stages)
+        with capture_stages() as cap:
+            dec = measure(
+                lambda: decode_chunked_multi(
+                    result.payload, CUDA_V2, result.chunk_sizes, CHUNK_SIZE,
+                    result.input_size, result.chunk_codecs),
+                repeats=repeats, warmup=warmup)
         out, _ = decode_chunked_multi(
             result.payload, CUDA_V2, result.chunk_sizes, CHUNK_SIZE,
             result.input_size, result.chunk_codecs)
         if out != data.tobytes():  # pragma: no cover - codec invariant
             raise AssertionError(f"codec {name} failed its round trip")
         cases[f"codec.{name}.decode"] = summarize(
-            dec, mb_s=round(size_bytes / max(min(dec), 1e-9) / 1e6, 3))
+            dec, mb_s=round(size_bytes / max(min(dec), 1e-9) / 1e6, 3),
+            stages=cap.stages)
     return cases
 
 
@@ -187,6 +199,65 @@ def compare_runs(baseline: dict, fresh: dict, *,
     return report
 
 
+def attribute_case(base: dict, fresh: dict, *,
+                   share_floor: float = 0.05) -> dict | None:
+    """Name the stage(s) a regressed case's extra time lives in.
+
+    Diffs the per-stage time *shares* recorded in the two summaries'
+    ``stages`` breakdowns.  Shares rather than raw seconds: a uniformly
+    slower host inflates every stage and moves no share, while a real
+    code regression concentrates in the stage that changed.  A stage is
+    a *suspect* when its share grew by at least ``share_floor`` (5
+    points by default); if none clears the floor the top share-gainer
+    is named alone.  Returns ``None`` when either side lacks stage data
+    (pre-attribution baselines).
+    """
+    b, f = base.get("stages"), fresh.get("stages")
+    if not b or not f:
+        return None
+    rows = []
+    for stage in sorted(set(b) | set(f)):
+        bs = b.get(stage, {})
+        fs = f.get(stage, {})
+        b_share = float(bs.get("share", 0.0))
+        f_share = float(fs.get("share", 0.0))
+        b_secs = float(bs.get("seconds", 0.0))
+        f_secs = float(fs.get("seconds", 0.0))
+        rows.append({
+            "stage": stage,
+            "baseline_share": round(b_share, 4),
+            "fresh_share": round(f_share, 4),
+            "share_delta": round(f_share - b_share, 4),
+            "baseline_seconds": round(b_secs, 6),
+            "fresh_seconds": round(f_secs, 6),
+            "seconds_ratio": (round(f_secs / b_secs, 2)
+                              if b_secs > 0 else None),
+        })
+    rows.sort(key=lambda r: (-r["share_delta"], r["stage"]))
+    suspects = [r["stage"] for r in rows if r["share_delta"] >= share_floor]
+    if not suspects and rows:
+        suspects = [rows[0]["stage"]]
+    return {"rows": rows, "suspects": suspects}
+
+
+def attribute_regressions(baseline: dict, fresh: dict,
+                          report: dict) -> None:
+    """Attach stage attribution to every regressed case in ``report``.
+
+    Mutates the report in place: each regression entry gains either an
+    ``attribution`` dict (see :func:`attribute_case`) or
+    ``attribution: None`` when the baseline predates stage recording.
+    """
+    base_cases = baseline.get("cases", {})
+    fresh_cases = fresh.get("cases", {})
+    for entry in report["cases"]:
+        if entry.get("status") != "regression":
+            continue
+        name = entry["name"]
+        entry["attribution"] = attribute_case(
+            base_cases.get(name, {}), fresh_cases.get(name, {}))
+
+
 def format_report(report: dict, baseline_meta: dict | None = None) -> str:
     lines = ["benchgate: fresh run vs committed baseline "
              f"(threshold {report['threshold_pct']:.0f}% median, "
@@ -206,6 +277,25 @@ def format_report(report: dict, baseline_meta: dict | None = None) -> str:
             f"  {c['name']:<18} {c['baseline_median_seconds']*1e3:9.3f} ms"
             f" -> {c['fresh_median_seconds']*1e3:9.3f} ms  "
             f"({c['change_pct']:+6.1f}%)  {mark}")
+        if "attribution" not in c:
+            continue
+        attribution = c["attribution"]
+        if attribution is None:
+            lines.append(
+                "    attribution: no stage breakdown in the baseline run "
+                "— refresh it with `culzss benchgate --update`")
+            continue
+        suspects = set(attribution["suspects"])
+        lines.append("    stage time shares (baseline -> fresh):")
+        for r in attribution["rows"]:
+            ratio = (f"time x{r['seconds_ratio']:.2f}"
+                     if r["seconds_ratio"] is not None else "new stage")
+            flag = "  <-- suspect" if r["stage"] in suspects else ""
+            lines.append(
+                f"      {r['stage']:<24} {r['baseline_share']*100:5.1f}% ->"
+                f" {r['fresh_share']*100:5.1f}%  ({ratio}){flag}")
+        lines.append(
+            "    suspect stage(s): " + ", ".join(attribution["suspects"]))
     lines.append("gate: " + ("PASS" if report["ok"] else
                              f"FAIL ({', '.join(report['regressions'])})"))
     return "\n".join(lines)
@@ -216,6 +306,7 @@ def format_report(report: dict, baseline_meta: dict | None = None) -> str:
 def run_gate(baseline_path, *, mode: str = "quick", update: bool = False,
              threshold_pct: float = 25.0, size_bytes: int | None = None,
              repeats: int | None = None, suite: str = "engine",
+             attribute: bool = False, profile=None,
              out=print) -> int:
     """The ``culzss benchgate`` entry point; returns the exit code.
 
@@ -228,6 +319,13 @@ def run_gate(baseline_path, *, mode: str = "quick", update: bool = False,
     codec hot-path gate against ``BENCH_engine.json``; ``"codecs"``
     measures every registered codec (see :func:`codec_cases`) against
     the committed ``BENCH_codecs.json`` trajectory.
+
+    ``attribute`` turns on regression forensics: each regressed case's
+    report names the stage(s) whose share of the measured time grew
+    against the baseline's recorded breakdown (see
+    :func:`attribute_case`).  ``profile`` — a path — runs the sampling
+    profiler over the whole measurement and writes a speedscope
+    document there (plus a ``.collapsed`` sibling).
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {sorted(MODES)}")
@@ -237,12 +335,21 @@ def run_gate(baseline_path, *, mode: str = "quick", update: bool = False,
     size_bytes = size_bytes or mode_size
     repeats = repeats or mode_repeats
 
-    if suite == "codecs":
-        bench_name = CODEC_BENCH
-        cases = codec_cases(size_bytes, repeats=repeats, warmup=warmup)
-    else:
-        bench_name = GATE_BENCH
-        cases = gate_cases(size_bytes, repeats=repeats, warmup=warmup)
+    if profile:
+        from repro.obs import prof
+
+        prof.start()
+    try:
+        if suite == "codecs":
+            bench_name = CODEC_BENCH
+            cases = codec_cases(size_bytes, repeats=repeats, warmup=warmup)
+        else:
+            bench_name = GATE_BENCH
+            cases = gate_cases(size_bytes, repeats=repeats, warmup=warmup)
+    finally:
+        if profile:
+            prof.stop()
+            prof.export(profile, out=out)
     fresh = new_run(bench_name, mode, cases,
                     params={"size_bytes": size_bytes, "repeats": repeats,
                             "chunk_size": CHUNK_SIZE})
@@ -260,5 +367,7 @@ def run_gate(baseline_path, *, mode: str = "quick", update: bool = False,
             "known-good tree first")
         return 2
     report = compare_runs(baseline, fresh, threshold_pct=threshold_pct)
+    if attribute:
+        attribute_regressions(baseline, fresh, report)
     out(format_report(report, baseline.get("meta")))
     return 0 if report["ok"] else 1

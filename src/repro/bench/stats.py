@@ -34,6 +34,7 @@ from time import perf_counter, time as wall_time
 __all__ = [
     "SCHEMA_VERSION",
     "append_run",
+    "capture_stages",
     "fingerprint",
     "load_trajectory",
     "measure",
@@ -62,6 +63,44 @@ def measure(fn, *, repeats: int = 5, warmup: int = 1) -> list[float]:
         fn()
         samples.append(perf_counter() - t0)
     return samples
+
+
+class capture_stages:
+    """Record the per-stage ledger breakdown of a measured region.
+
+    Snapshots the process-global :mod:`repro.obs` registry on entry and
+    exit and exposes the diff as ``.stages`` — ``{stage: {seconds,
+    bytes, calls, share}}`` for every ledger stage (those reporting the
+    ``bytes=`` dimension) active inside the ``with``.  Pass the result
+    into :func:`summarize` as ``stages=`` so the breakdown rides the
+    trajectory entry, which is what ``culzss benchgate --attribute``
+    diffs to name the stage a regression lives in.
+
+    Warmup calls inside the region inflate every stage by the same
+    factor, so the *shares* the attribution compares are unaffected.
+    """
+
+    def __init__(self) -> None:
+        self.stages: dict = {}
+        self._before: dict | None = None
+
+    def __enter__(self) -> "capture_stages":
+        from repro import obs
+
+        self._before = obs.get_registry().snapshot()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        from repro import obs
+
+        raw = obs.stage_breakdown(self._before,
+                                  obs.get_registry().snapshot())
+        self.stages = {
+            stage: {"seconds": round(v["seconds"], 6),
+                    "bytes": v["bytes"], "calls": v["calls"],
+                    "share": round(v["share"], 4)}
+            for stage, v in raw.items()}
+        return False
 
 
 def summarize(samples: list[float], **extra) -> dict:

@@ -18,7 +18,7 @@ Usage::
     culzss stats      [INPUT] [--format {pretty,json,prom}] ...
     culzss trace      INPUT [--output FILE] [--workers N] ...
     culzss benchgate  [--suite {engine,codecs}] [--quick] [--update]
-                      [--threshold PCT]
+                      [--threshold PCT] [--attribute] [--profile FILE]
     culzss top        --port P [--plain] [--interval S]
 
 ``serve``/``send`` run the streaming gateway pair (`repro.service`):
@@ -38,9 +38,15 @@ loadable in ``chrome://tracing`` / Perfetto.  ``serve
 
 ``benchgate`` runs the statistical codec benchmarks and fails (exit 1)
 on a median regression against the committed ``BENCH_engine.json``
-baseline; ``top`` is a live dashboard (curses, or ``--plain``) over a
-``serve --metrics-port`` sidecar, showing throughput, queue depths,
-latency quantiles, degraded-mode counters, and SLO state.
+baseline; ``--attribute`` names the stage(s) whose time share grew.
+``top`` is a live dashboard (curses, or ``--plain``) over a ``serve
+--metrics-port`` sidecar, showing throughput, queue depths, latency
+quantiles, degraded-mode counters, per-codec dispatch, and SLO state.
+
+``compress``/``decompress``/``serve``/``benchgate`` all take
+``--profile FILE``: a sampling profiler (``repro.obs.prof``) runs for
+the duration — in pool workers too — and writes a speedscope JSON plus
+folded stacks on exit.
 
 ``--system`` selects any of the five evaluated systems (culzss-v1,
 culzss-v2, serial, pthread, bzip2); CULZSS/serial outputs are
@@ -51,9 +57,52 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 __all__ = ["build_parser", "main"]
+
+
+@contextmanager
+def _profiled(path: str | None, hz: float | None = None):
+    """Run the wrapped command under the sampling profiler.
+
+    No-op when ``path`` is falsy.  Sets ``REPRO_PROFILE_HZ`` for the
+    duration so any pool workers the command spawns sample themselves
+    too; their drains ride home inside the obs deltas and the final
+    export covers every pid in one speedscope document (plus a
+    ``.collapsed`` folded-stack sibling).
+    """
+    if not path:
+        yield
+        return
+    import os
+
+    from repro.obs import prof
+
+    prior = os.environ.get(prof.ENV_HZ)
+    os.environ[prof.ENV_HZ] = str(hz if hz else prof.DEFAULT_HZ)
+    prof.start(hz)
+    try:
+        yield
+    finally:
+        prof.stop()
+        if prior is None:
+            os.environ.pop(prof.ENV_HZ, None)
+        else:
+            os.environ[prof.ENV_HZ] = prior
+        prof.export(path)
+
+
+def _add_profile_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--profile", default=None, metavar="FILE",
+                   help="sample this command's stacks and write a "
+                        "speedscope JSON to FILE (plus a .collapsed "
+                        "folded-stack sibling); pool workers are "
+                        "sampled too")
+    p.add_argument("--profile-hz", type=float, default=None,
+                   help="sampling frequency (default ~97 Hz, or "
+                        "REPRO_PROFILE_HZ)")
 
 
 def _check_probe_threshold(value: float | None) -> str | None:
@@ -68,6 +117,11 @@ def _check_probe_threshold(value: float | None) -> str | None:
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
+    with _profiled(args.profile, args.profile_hz):
+        return _run_compress(args)
+
+
+def _run_compress(args: argparse.Namespace) -> int:
     data = Path(args.input).read_bytes()
     system = args.system or f"culzss-v{args.version}"
     if system not in ("culzss-v1", "culzss-v2") and args.codec != "lzss":
@@ -114,6 +168,11 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
+    with _profiled(args.profile, args.profile_hz):
+        return _run_decompress(args)
+
+
+def _run_decompress(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
 
     blob = Path(args.input).read_bytes()
@@ -244,6 +303,11 @@ def _print_metrics(metrics) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    with _profiled(args.profile, args.profile_hz):
+        return _run_serve(args)
+
+
+def _run_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.service import GatewayServer, Metrics
@@ -355,7 +419,8 @@ def _cmd_benchgate(args: argparse.Namespace) -> int:
     return run_gate(Path(baseline),
                     mode="quick" if args.quick else "full",
                     update=args.update, threshold_pct=args.threshold,
-                    suite=args.suite)
+                    suite=args.suite, attribute=args.attribute,
+                    profile=args.profile)
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -393,6 +458,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(obs.prometheus_text(snap), end="")
     else:
         print(obs.format_pretty(snap))
+        print()
+        print("per-stage throughput ledger:")
+        print(obs.format_ledger(obs.ledger(snap)))
     return 0
 
 
@@ -454,6 +522,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--probe-threshold", type=float, default=None,
                    help="store-fallback entropy threshold in bits/byte "
                         "(default: REPRO_PROBE_THRESHOLD or 7.9)")
+    _add_profile_args(p)
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress a container file")
@@ -465,6 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(exit 1 on partial loss)")
     p.add_argument("--fill-byte", type=int, default=0,
                    help="fill value for unrecoverable chunks (0..255)")
+    _add_profile_args(p)
     p.set_defaults(func=_cmd_decompress)
 
     p = sub.add_parser("info", help="describe a container file")
@@ -510,6 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--accept-codecs", default=None,
                    help="comma-separated codec names answered in the NEG "
                         "handshake (default: everything registered)")
+    _add_profile_args(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("send", help="send buffers through an ingress gateway")
@@ -564,6 +635,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=25.0,
                    help="median regression percentage that fails the gate "
                         "(IQR overlap always passes)")
+    p.add_argument("--attribute", action="store_true",
+                   help="on regression, diff the per-stage time shares "
+                        "against the baseline's recorded breakdown and "
+                        "name the suspect stage(s)")
+    p.add_argument("--profile", default=None, metavar="FILE",
+                   help="sample the whole measurement and write a "
+                        "speedscope JSON to FILE (plus a .collapsed "
+                        "folded-stack sibling)")
     p.set_defaults(func=_cmd_benchgate)
 
     p = sub.add_parser("top",

@@ -35,6 +35,8 @@ decode raises, salvage fills and reports.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro import obs
@@ -143,7 +145,10 @@ def encode_chunked_auto(data, fmt: TokenFormat, chunk_size: int, *,
 
     if codec == "lzss":
         # Byte-identical to the classic path, plus the codec column.
+        t0 = perf_counter()
         result = encode_chunked(arr, fmt, chunk_size, max_chain=max_chain)
+        obs.observe("codec.encode_lzss_seconds", perf_counter() - t0)
+        obs.inc("codec.encode_lzss_bytes", n)
         result.chunk_codecs = np.full(n_chunks, LZSS_CODEC_ID,
                                       dtype=np.uint8)
         _account(result.chunk_codecs, result.chunk_sizes, arr.size,
@@ -185,19 +190,32 @@ def encode_chunked_auto(data, fmt: TokenFormat, chunk_size: int, *,
         lo, hi = i * chunk_size, min(j * chunk_size, n)
         if names[i] == "trial":
             # Measure, don't predict: smaller of lzss and lzss-huffman.
+            # Per-codec ledger time goes to whichever codec won the
+            # chunk — the loser's work is the price of the trial.
             for c in range(i, j):
                 chunk = arr[c * chunk_size:min((c + 1) * chunk_size, n)]
+                t0 = perf_counter()
                 as_lzss = lzss_codec.encode_chunk(chunk, fmt)
                 as_huff = huff_codec.encode_chunk(chunk, fmt)
+                elapsed = perf_counter() - t0
                 if len(as_huff) < len(as_lzss):
                     parts[c], ids[c] = as_huff, huff_codec.codec_id
+                    winner = huff_codec.name
                 else:
                     parts[c], ids[c] = as_lzss, lzss_codec.codec_id
+                    winner = lzss_codec.name
+                key = _metric_key(winner)
+                obs.observe(f"codec.encode_{key}_seconds", elapsed)
+                obs.inc(f"codec.encode_{key}_bytes", int(chunk.size))
         else:
             run_codec = get_codec(names[i])
+            t0 = perf_counter()
             payload, sizes = run_codec.encode_run(arr[lo:hi], fmt,
                                                   chunk_size,
                                                   max_chain=max_chain)
+            key = _metric_key(run_codec.name)
+            obs.observe(f"codec.encode_{key}_seconds", perf_counter() - t0)
+            obs.inc(f"codec.encode_{key}_bytes", hi - lo)
             offs = np.concatenate([[0], np.cumsum(sizes)])
             for k, c in enumerate(range(i, j)):
                 parts[c] = payload[int(offs[k]):int(offs[k + 1])]
@@ -258,8 +276,12 @@ def decode_chunked_multi(payload, fmt: TokenFormat, chunk_sizes: np.ndarray,
     tokens = np.zeros(n_chunks, dtype=np.int64)
     offsets = np.concatenate([[0], np.cumsum(chunk_sizes)])
     checks = failures = 0
+    # Per-codec decode ledger: accumulate locally per codec id and
+    # record once after the loop, never per chunk.
+    per_codec: dict[int, list] = {}
     try:
-        with obs.stage("decode.stream", chunks=n_chunks, multi=True):
+        with obs.stage("decode.stream", bytes=output_size, chunks=n_chunks,
+                       multi=True):
             for c in range(n_chunks):
                 lo = c * chunk_size
                 hi = min(lo + chunk_size, output_size)
@@ -278,8 +300,16 @@ def decode_chunked_multi(payload, fmt: TokenFormat, chunk_sizes: np.ndarray,
                             "chunk checksum mismatch",
                             chunk_index=first_chunk + c,
                             offset=int(offsets[c]))
+                t0 = perf_counter()
                 out[lo:hi] = get_codec(cid).decode_chunk(
                     piece, fmt, hi - lo, chunk_index=first_chunk + c)
+                acc = per_codec.setdefault(cid, [0.0, 0])
+                acc[0] += perf_counter() - t0
+                acc[1] += hi - lo
+        for cid, (secs, nbytes) in per_codec.items():
+            key = _metric_key(get_codec(cid).name)
+            obs.observe(f"codec.decode_{key}_seconds", secs)
+            obs.inc(f"codec.decode_{key}_bytes", nbytes)
     finally:
         if checks:
             obs.inc("container.crc_checks", checks)
@@ -318,8 +348,8 @@ def salvage_decode_chunked_multi(
     offsets = np.concatenate([[0], np.cumsum(chunk_sizes)])
     report = SalvageReport(n_chunks=n_chunks, fill_byte=fill_byte)
     checks = failures = 0
-    with obs.stage("decode.stream", chunks=n_chunks, salvage=True,
-                   multi=True):
+    with obs.stage("decode.stream", bytes=output_size, chunks=n_chunks,
+                   salvage=True, multi=True):
         for c in range(n_chunks):
             lo = c * chunk_size
             hi = min(lo + chunk_size, output_size)

@@ -30,9 +30,11 @@ enough for the symbol stream to win it back.
 from __future__ import annotations
 
 import struct
+from time import perf_counter
 
 import numpy as np
 
+from repro import obs
 from repro.bzip2.huffman import HuffmanCode, huffman_decode, huffman_encode
 from repro.codecs.base import Codec, register_codec
 from repro.errors import CorruptChunkError
@@ -72,9 +74,14 @@ class LzssHuffmanCodec(Codec):
 
         symbols = np.where(is_match, MATCH_SYMBOL,
                            chunk[starts].astype(np.int64))
+        # Ledger: the entropy stage alone (tree build + symbol coding),
+        # recorded raw rather than as a span — this runs per chunk.
+        t0 = perf_counter()
         code = HuffmanCode.from_frequencies(
             np.bincount(symbols, minlength=_N_SYMBOLS), _MAX_CODE_LEN)
         sym_payload, sym_bits = huffman_encode(symbols, code)
+        obs.observe("codec.huffman_seconds", perf_counter() - t0)
+        obs.inc("codec.huffman_bytes", int(chunk.size))
 
         m_starts = starts[is_match]
         m_len = advance[m_starts]

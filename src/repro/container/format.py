@@ -145,6 +145,12 @@ def pack_container(result: EncodeResult, *,
     (the historical default bytes, golden-tested) and results carrying
     a ``chunk_codecs`` column write version 3.
     """
+    with obs.stage("container.pack", bytes=len(result.payload)):
+        return _pack_container(result, version=version)
+
+
+def _pack_container(result: EncodeResult, *,
+                    version: int | None = None) -> bytes:
     codecs_col = getattr(result, "chunk_codecs", None)
     if version is None:
         version = (CONTAINER_VERSION_V3 if codecs_col is not None
@@ -230,6 +236,11 @@ def unpack_container(blob: bytes, *, strict: bool = True) -> ContainerInfo:
     the salvage path, which tolerates corrupt or truncated payloads and
     lets the decoder sort good chunks from bad.
     """
+    with obs.stage("container.unpack", bytes=len(blob), strict=strict):
+        return _unpack_container(blob, strict=strict)
+
+
+def _unpack_container(blob: bytes, *, strict: bool = True) -> ContainerInfo:
     if len(blob) < HEADER_SIZE:
         raise TruncatedContainerError("container truncated before header",
                                       expected=HEADER_SIZE, actual=len(blob))

@@ -55,7 +55,8 @@ def fixup_matches(best_len: np.ndarray, best_dist: np.ndarray,
     best_len = np.asarray(best_len)
     best_dist = np.asarray(best_dist)
     require(best_len.shape == best_dist.shape, "match array shape mismatch")
-    with obs.stage("encode.fixup", positions=int(best_len.size)):
+    with obs.stage("encode.fixup", bytes=int(best_len.size),
+                   positions=int(best_len.size)):
         advance = np.where(best_len >= fmt.min_match, best_len, 1).astype(np.int64)
         starts = greedy_token_starts(advance, chunk_size)
         lengths = best_len[starts].astype(np.int64)

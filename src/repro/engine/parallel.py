@@ -74,6 +74,23 @@ MIN_PARALLEL_BYTES = 1 << 17
 _CRASH_ERRORS = (BrokenExecutor, WorkerCrashError)
 
 
+def _shard_bytes(args) -> int | None:
+    """Ledger size of a shard call: the leading buffer argument's bytes.
+
+    Every shard job (encode slice, decode slice) takes its data buffer
+    first; anything without one simply stays out of the byte ledger.
+    """
+    if not args:
+        return None
+    first = args[0]
+    nbytes = getattr(first, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(first, (bytes, bytearray, memoryview)):
+        return len(first)
+    return None
+
+
 def shard_chunk_runs(n: int, chunk_size: int, shards: int) -> list[tuple[int, int]]:
     """Split ``[0, n)`` into ≤ ``shards`` chunk-aligned byte runs.
 
@@ -247,7 +264,8 @@ class ParallelEngine:
                     with trace.attach(ctx):
                         obs.observe("engine.queue_wait_seconds",
                                     perf_counter() - submit_t)
-                        with obs.stage("engine.shard", shard=idx):
+                        with obs.stage("engine.shard", shard=idx,
+                                       bytes=_shard_bytes(args)):
                             return fn(*args, **kwargs)
                 return run
 
@@ -278,7 +296,8 @@ class ParallelEngine:
                 self.counters["serial_fallbacks"] += 1
                 obs.inc("engine.serial_fallbacks")
                 obslog.event("engine", "serial_fallback", shard=i)
-                with obs.stage("engine.shard", shard=i, fallback=True):
+                with obs.stage("engine.shard", shard=i, fallback=True,
+                               bytes=_shard_bytes(args)):
                     res = fn(*args, **kwargs)
             results.append(res)
         return results

@@ -213,7 +213,7 @@ def decode_chunked_with_stats(
     # when a mismatch aborts the loop mid-way.
     checks = failures = 0
     try:
-        with obs.stage("decode.stream", chunks=n_chunks):
+        with obs.stage("decode.stream", bytes=output_size, chunks=n_chunks):
             for c in range(n_chunks):
                 lo = c * chunk_size
                 hi = min(lo + chunk_size, output_size)
@@ -265,7 +265,8 @@ def salvage_decode_chunked(
     offsets = np.concatenate([[0], np.cumsum(chunk_sizes)])
     report = SalvageReport(n_chunks=n_chunks, fill_byte=fill_byte)
     checks = failures = 0
-    with obs.stage("decode.stream", chunks=n_chunks, salvage=True):
+    with obs.stage("decode.stream", bytes=output_size, chunks=n_chunks,
+                   salvage=True):
         for c in range(n_chunks):
             lo = c * chunk_size
             hi = min(lo + chunk_size, output_size)

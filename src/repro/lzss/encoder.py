@@ -117,10 +117,10 @@ def _tokenize_arrays(arr: np.ndarray, fmt: TokenFormat,
     if parse not in ("greedy", "lazy", "optimal"):
         raise ValueError(f"unknown parse strategy {parse!r}")
     n = arr.size
-    with obs.stage("encode.match", size=n, parse=parse):
+    with obs.stage("encode.match", bytes=n, parse=parse):
         blen, bdist, compares, per_pos, warp_cmp = best_matches(
             arr, fmt, chunk_size, max_chain, collect_detail, slice_size)
-    with obs.stage("encode.parse", parse=parse):
+    with obs.stage("encode.parse", bytes=n, parse=parse):
         matchable = blen >= fmt.min_match
         if parse == "lazy" and n > 1:
             longer_next = np.zeros(n, dtype=bool)
@@ -168,7 +168,7 @@ def encode(data, fmt: TokenFormat, max_chain: int = DEFAULT_MAX_CHAIN,
     arr = as_u8(data)
     values, nbits, _starts, stats = _tokenize_arrays(
         arr, fmt, None, max_chain, collect_detail, parse=parse)
-    with obs.stage("encode.pack", tokens=int(values.size)):
+    with obs.stage("encode.pack", bytes=arr.size, tokens=int(values.size)):
         payload, total_bits = pack_tokens(values, nbits)
     stats.total_bits = total_bits
     stats.output_size = len(payload)
@@ -199,7 +199,8 @@ def encode_chunked(data, fmt: TokenFormat, chunk_size: int,
                             chunk_sizes=np.zeros(0, dtype=np.int64),
                             chunk_size=chunk_size, stats=stats)
 
-    with obs.stage("encode.pack", tokens=int(values.size), chunks=n_chunks):
+    with obs.stage("encode.pack", bytes=n, tokens=int(values.size),
+                   chunks=n_chunks):
         chunk_id = starts // chunk_size
         bits_per_chunk = np.bincount(chunk_id, weights=nbits,
                                      minlength=n_chunks).astype(np.int64)

@@ -30,14 +30,21 @@ from __future__ import annotations
 
 import os
 
-from repro.obs import export, log, slo, trace
+from repro.obs import export, log, prof, slo, trace
 from repro.obs.export import (
     chrome_trace,
+    collapsed_stacks,
+    format_ledger,
     format_pretty,
     json_text,
+    ledger,
     merge_snapshots,
     prometheus_text,
+    speedscope_doc,
+    stage_breakdown,
     write_chrome_trace,
+    write_collapsed,
+    write_speedscope,
 )
 from repro.obs.registry import Histogram, MetricRegistry
 from repro.obs.trace import Span, new_trace_id, span
@@ -47,28 +54,36 @@ __all__ = [
     "MetricRegistry",
     "Span",
     "chrome_trace",
+    "collapsed_stacks",
     "delta",
     "disable",
     "enable",
     "enabled",
     "export",
+    "format_ledger",
     "format_pretty",
     "gauge",
     "get_registry",
     "inc",
     "json_text",
+    "ledger",
     "log",
     "merge_delta",
     "merge_snapshots",
     "new_trace_id",
     "observe",
+    "prof",
     "prometheus_text",
     "reset",
     "slo",
     "span",
+    "speedscope_doc",
     "stage",
+    "stage_breakdown",
     "trace",
     "write_chrome_trace",
+    "write_collapsed",
+    "write_speedscope",
 ]
 
 #: Counter families the whole stack reports into.  Preregistered so an
@@ -79,12 +94,29 @@ COUNTER_KEYS = (
     "codec.chunks_lzss",
     "codec.chunks_lzss_huffman",
     "codec.chunks_store",
+    "codec.decode_lz4s_bytes",
+    "codec.decode_lzss_bytes",
+    "codec.decode_lzss_huffman_bytes",
+    "codec.decode_store_bytes",
+    "codec.encode_lz4s_bytes",
+    "codec.encode_lzss_bytes",
+    "codec.encode_lzss_huffman_bytes",
+    "codec.encode_store_bytes",
+    "codec.huffman_bytes",
     "codec.store_fallbacks",
     "container.crc_checks",
     "container.crc_failures",
+    "container.pack_bytes",
     "container.salvage_chunks_lost",
     "container.salvage_chunks_recovered",
+    "container.unpack_bytes",
+    "decode.stream_bytes",
+    "encode.fixup_bytes",
+    "encode.match_bytes",
+    "encode.pack_bytes",
+    "encode.parse_bytes",
     "engine.serial_fallbacks",
+    "engine.shard_bytes",
     "engine.shards",
     "engine.worker_crashes",
     "matcher.hash_calls",
@@ -94,14 +126,26 @@ COUNTER_KEYS = (
     "matcher.probe_calls",
     "matcher.probe_hits",
     "matcher.saturation_exits",
+    "transport.send_bytes",
 )
 
 #: Histogram families (seconds unless named otherwise), same rationale.
 HISTOGRAM_KEYS = (
+    "codec.decode_lz4s_seconds",
+    "codec.decode_lzss_huffman_seconds",
+    "codec.decode_lzss_seconds",
+    "codec.decode_store_seconds",
+    "codec.encode_lz4s_seconds",
+    "codec.encode_lzss_huffman_seconds",
+    "codec.encode_lzss_seconds",
+    "codec.encode_store_seconds",
+    "codec.huffman_seconds",
     "codec.ratio_lz4s",
     "codec.ratio_lzss",
     "codec.ratio_lzss_huffman",
     "codec.ratio_store",
+    "container.pack_seconds",
+    "container.unpack_seconds",
     "decode.stream_seconds",
     "encode.fixup_seconds",
     "encode.match_seconds",
@@ -109,6 +153,7 @@ HISTOGRAM_KEYS = (
     "encode.parse_seconds",
     "engine.queue_wait_seconds",
     "engine.shard_seconds",
+    "transport.send_seconds",
 )
 
 _TRUTHY_OFF = {"0", "false", "off", "no"}
@@ -139,11 +184,13 @@ def get_registry() -> MetricRegistry:
 
 
 def reset() -> None:
-    """Fresh global registry and empty span ring (test isolation)."""
+    """Fresh global registry, empty span ring, empty profile store
+    (test isolation)."""
     global _registry
     _registry = MetricRegistry(preregister=COUNTER_KEYS,
                                preregister_histograms=HISTOGRAM_KEYS)
     trace.clear()
+    prof.clear()
 
 
 # ------------------------------------------------- recording helpers
@@ -167,15 +214,22 @@ class stage:
     """Span + duration histogram in one: ``with obs.stage("encode.match")``.
 
     Opens a :func:`trace.span` named ``name`` and, on exit, observes the
-    elapsed seconds into the ``{name}_seconds`` histogram.  A plain
-    class rather than ``@contextmanager`` so the disabled path creates
-    no generator.
+    elapsed seconds into the ``{name}_seconds`` histogram.  The
+    ``bytes=`` keyword is the throughput-ledger dimension: when given,
+    exit also adds it to the ``{name}_bytes`` counter, which is what
+    makes the stage appear in :func:`ledger` with an MB/s and a
+    share-of-wall-time.  A plain class rather than ``@contextmanager``
+    so the disabled path creates no generator.
     """
 
-    __slots__ = ("_name", "_attrs", "_span", "_t0")
+    __slots__ = ("_name", "_attrs", "_span", "_t0", "_bytes")
 
-    def __init__(self, name: str, *, trace_id: int | None = None, **attrs):
+    def __init__(self, name: str, *, trace_id: int | None = None,
+                 bytes: int | None = None, **attrs):
         self._name = name
+        self._bytes = None if bytes is None else int(bytes)
+        if self._bytes is not None:
+            attrs["bytes"] = self._bytes
         self._attrs = attrs
         self._span = (trace.span(name, trace_id=trace_id, **attrs)
                       if _enabled else None)
@@ -193,6 +247,8 @@ class stage:
             from time import perf_counter
             _registry.observe(f"{self._name}_seconds",
                               perf_counter() - self._t0)
+            if self._bytes is not None:
+                _registry.inc(f"{self._name}_bytes", self._bytes)
             self._span.__exit__(*exc)
         return False
 
@@ -203,9 +259,12 @@ def delta() -> dict:
     """Picklable package of everything recorded since the last delta.
 
     The worker side of the pool handoff: metric diffs from the global
-    registry plus the drained span ring.  Ship it with the job result.
+    registry, the drained span ring, and the drained profiler samples
+    (``None`` unless a sampler ran — see :mod:`repro.obs.prof`).  Ship
+    it with the job result.
     """
-    return {"metrics": _registry.delta_snapshot(), "spans": trace.drain()}
+    return {"metrics": _registry.delta_snapshot(), "spans": trace.drain(),
+            "profile": prof.drain()}
 
 
 def merge_delta(payload: dict | None) -> None:
@@ -213,10 +272,11 @@ def merge_delta(payload: dict | None) -> None:
 
     Metric diffs merge through the registry (which drops same-pid
     deltas — an inline executor's writes already landed here); spans
-    always re-ingest, because :func:`delta` drained them from whichever
-    ring recorded them.
+    and profile samples always re-ingest, because :func:`delta` drained
+    them from whichever process recorded them.
     """
     if not payload:
         return
     _registry.merge(payload.get("metrics"))
     trace.ingest(payload.get("spans"))
+    prof.ingest(payload.get("profile"))

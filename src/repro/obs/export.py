@@ -27,11 +27,18 @@ from pathlib import Path
 
 __all__ = [
     "chrome_trace",
+    "collapsed_stacks",
+    "format_ledger",
     "format_pretty",
     "json_text",
+    "ledger",
     "merge_snapshots",
     "prometheus_text",
+    "speedscope_doc",
+    "stage_breakdown",
     "write_chrome_trace",
+    "write_collapsed",
+    "write_speedscope",
 ]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
@@ -192,3 +199,173 @@ def write_chrome_trace(path, spans) -> Path:
     path = Path(path)
     path.write_text(json.dumps(chrome_trace(spans), indent=1))
     return path
+
+
+# ----------------------------------------------------- profiler exports
+
+def collapsed_stacks(profiles: dict[int, dict]) -> str:
+    """``prof.profiles()`` → Brendan Gregg folded text, summed across pids.
+
+    One line per unique stack — ``root;caller;leaf count`` — ready for
+    ``flamegraph.pl`` or any folded-stack consumer.  Sorted by count
+    descending so the hottest path is the first line.
+    """
+    flat: dict[str, int] = {}
+    for slot in profiles.values():
+        for stack, n in slot.get("samples", {}).items():
+            flat[stack] = flat.get(stack, 0) + n
+    lines = [f"{stack} {n}" for stack, n in
+             sorted(flat.items(), key=lambda kv: (-kv[1], kv[0]))]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def speedscope_doc(profiles: dict[int, dict], *, name: str = "culzss") -> dict:
+    """``prof.profiles()`` → a speedscope file-format document.
+
+    One *sampled* profile per pid — the parent process and each pool
+    worker appear side by side in speedscope's profile picker, sharing
+    one frame table.  Weights are seconds (``count / hz``), so the
+    flamegraph x-axis reads as wall time.
+    """
+    frame_index: dict[str, int] = {}
+    frames: list[dict] = []
+
+    def _idx(label: str) -> int:
+        i = frame_index.get(label)
+        if i is None:
+            i = frame_index[label] = len(frames)
+            frames.append({"name": label})
+        return i
+
+    docs = []
+    for pid in sorted(profiles):
+        slot = profiles[pid]
+        hz = float(slot.get("hz") or 1.0)
+        samples, weights = [], []
+        total = 0.0
+        for stack, n in sorted(slot.get("samples", {}).items()):
+            samples.append([_idx(label) for label in stack.split(";")])
+            w = n / hz
+            weights.append(w)
+            total += w
+        docs.append({
+            "type": "sampled",
+            "name": f"pid {pid}",
+            "unit": "seconds",
+            "startValue": 0,
+            "endValue": total,
+            "samples": samples,
+            "weights": weights,
+        })
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "name": name,
+        "exporter": "culzss-obs",
+        "activeProfileIndex": 0,
+        "shared": {"frames": frames},
+        "profiles": docs,
+    }
+
+
+def write_speedscope(path, profiles: dict[int, dict], *,
+                     name: str = "culzss") -> Path:
+    """Dump :func:`speedscope_doc` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(speedscope_doc(profiles, name=name)))
+    return path
+
+
+def write_collapsed(path, profiles: dict[int, dict]) -> Path:
+    """Dump :func:`collapsed_stacks` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(collapsed_stacks(profiles))
+    return path
+
+
+# ---------------------------------------------------- throughput ledger
+
+def ledger(snapshot: dict) -> list[dict]:
+    """Per-stage throughput rows from one (possibly merged) snapshot.
+
+    A stage joins the ledger when it reports the ``bytes=`` dimension —
+    i.e. a ``{stage}_bytes`` counter exists alongside a populated
+    ``{stage}_seconds`` histogram.  Those stages (match, parse, pack,
+    fixup, decode.stream, container, transport, per-codec) are the
+    disjoint leaf timings, so ``share`` — this stage's fraction of the
+    summed ledger seconds — reads as share-of-wall-time without
+    double-counting nested wrapper spans.  Rows sort by seconds
+    descending: the first row is where the time went.
+    """
+    counters = snapshot.get("counters", {})
+    hists = snapshot.get("histograms", {})
+    rows = []
+    for cname in counters:
+        if not cname.endswith("_bytes"):
+            continue
+        stage = cname[: -len("_bytes")]
+        h = hists.get(f"{stage}_seconds")
+        if not h or not h.get("count"):
+            continue
+        seconds = float(h["sum"])
+        nbytes = int(counters[cname])
+        rows.append({
+            "stage": stage,
+            "bytes": nbytes,
+            "seconds": seconds,
+            "calls": int(h["count"]),
+            "mb_s": (nbytes / seconds / 1e6) if seconds > 0 else 0.0,
+        })
+    total = sum(r["seconds"] for r in rows)
+    for r in rows:
+        r["share"] = (r["seconds"] / total) if total > 0 else 0.0
+    rows.sort(key=lambda r: (-r["seconds"], r["stage"]))
+    return rows
+
+
+def format_ledger(rows: list[dict]) -> str:
+    """Aligned table for :func:`ledger` rows (``culzss stats`` / benchgate)."""
+    if not rows:
+        return "(no per-stage byte accounting recorded)"
+    width = max(len(r["stage"]) for r in rows)
+    lines = [f"{'stage':<{width}}  {'share':>6}  {'seconds':>9}  "
+             f"{'MB/s':>8}  {'bytes':>12}  {'calls':>7}"]
+    for r in rows:
+        lines.append(
+            f"{r['stage']:<{width}}  {r['share'] * 100:5.1f}%  "
+            f"{r['seconds']:9.4f}  {r['mb_s']:8.2f}  "
+            f"{r['bytes']:12d}  {r['calls']:7d}")
+    return "\n".join(lines)
+
+
+def stage_breakdown(before: dict, after: dict) -> dict[str, dict]:
+    """Ledger-stage deltas between two registry snapshots.
+
+    The benchgate capture primitive: snapshot around one case's
+    measurement and keep only what that case spent.  Same inclusion
+    rule as :func:`ledger` (stages carrying the ``bytes=`` dimension),
+    so shares stay disjoint.  Returns ``{stage: {seconds, bytes,
+    calls, share}}`` for stages active in the window.
+    """
+    b_counters = before.get("counters", {})
+    b_hists = before.get("histograms", {})
+    out: dict[str, dict] = {}
+    for cname, a_total in after.get("counters", {}).items():
+        if not cname.endswith("_bytes"):
+            continue
+        stage = cname[: -len("_bytes")]
+        h = after.get("histograms", {}).get(f"{stage}_seconds")
+        if not h:
+            continue
+        hb = b_hists.get(f"{stage}_seconds") or {"count": 0, "sum": 0.0}
+        calls = int(h["count"]) - int(hb["count"])
+        if calls <= 0:
+            continue
+        out[stage] = {
+            "seconds": float(h["sum"]) - float(hb["sum"]),
+            "bytes": int(a_total) - int(b_counters.get(cname, 0)),
+            "calls": calls,
+        }
+    total = sum(v["seconds"] for v in out.values())
+    for v in out.values():
+        v["share"] = (v["seconds"] / total) if total > 0 else 0.0
+    return out

@@ -2,7 +2,7 @@
 
 Polls ``/metrics.json`` and ``/slo.json`` on a gateway's sidecar port
 and renders throughput, queue depths, latency quantiles, degraded-mode
-counters, and SLO state.  Rates are first differences between
+counters, per-codec dispatch tallies, and SLO state.  Rates are first differences between
 consecutive polls — the sidecar serves monotonic counters, so the
 dashboard owns the windowing.
 
@@ -128,6 +128,21 @@ def render(snap: dict | None, slo_report: dict | None, *,
                  f"{_counter(snap, 'container.salvage_chunks_lost'):5d}   "
                  f"crc-fails "
                  f"{_counter(snap, 'container.crc_failures'):5d}")
+
+    lines.append("codecs (chunks per codec, auto dispatch)")
+    codec_keys = ("store", "lzss", "lz4s", "lzss_huffman")
+    if not any(_counter(snap, f"codec.chunks_{k}") for k in codec_keys):
+        lines.append("  (no codec dispatch recorded)")
+    else:
+        for key in codec_keys:
+            chunks = _counter(snap, f"codec.chunks_{key}")
+            rate = _rate(snap, prev, f"codec.chunks_{key}", dt)
+            p50 = _quantile(snap, f"codec.ratio_{key}", 0.50)
+            ratio = "    -" if p50 is None else f"{p50:5.2f}"
+            lines.append(f"  {key:<13} {chunks:8d} chunks   "
+                         f"{rate:7.1f}/s   ratio p50 {ratio}")
+        lines.append(f"  store-fallbacks "
+                     f"{_counter(snap, 'codec.store_fallbacks'):5d}")
 
     lines.append("slo")
     if not slo_report:

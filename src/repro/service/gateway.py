@@ -24,12 +24,19 @@ egress reassembly dedupes any frames that made it through twice.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 from typing import Awaitable, Callable
 
 from repro import obs
 from repro.obs import log as obslog
-from repro.obs.export import json_text, merge_snapshots, prometheus_text
+from repro.obs.export import (
+    json_text,
+    ledger,
+    merge_snapshots,
+    prometheus_text,
+    speedscope_doc,
+)
 from repro.obs.slo import SloMonitor
 from repro.service.metrics import Metrics
 from repro.service.pipeline import EgressPipeline, IngressPipeline
@@ -68,6 +75,23 @@ def _codec_id_set(codecs) -> frozenset[int]:
 #: from TimeoutError before 3.11).
 TRANSIENT_ERRORS = (ConnectionError, OSError, TimeoutError,
                     asyncio.TimeoutError)
+
+#: Hard cap on one ``/profile?seconds=N`` sampling window.
+_PROFILE_MAX_SECONDS = 30.0
+
+
+def _profile_window(path: str) -> float:
+    """Extra render-budget seconds a sidecar request needs: the sampling
+    window for ``/profile``, zero for every other path."""
+    path, _, query = path.partition("?")
+    if path != "/profile":
+        return 0.0
+    params = dict(p.split("=", 1) for p in query.split("&") if "=" in p)
+    try:
+        seconds = float(params.get("seconds", 2.0))
+    except ValueError:
+        seconds = 2.0
+    return min(max(seconds, 0.1), _PROFILE_MAX_SECONDS)
 
 
 async def retry_with_backoff(fn: Callable[[], Awaitable], *,
@@ -148,8 +172,11 @@ class GatewayServer:
 
     ``metrics_port`` opens a sidecar HTTP listener on the same host
     serving ``GET /metrics`` (Prometheus text exposition),
-    ``GET /metrics.json`` (the same snapshot as JSON), and
-    ``GET /slo.json`` (the SLO monitor's judgement).  The scrape is
+    ``GET /metrics.json`` (the same snapshot as JSON),
+    ``GET /slo.json`` (the SLO monitor's judgement),
+    ``GET /healthz`` (200 + uptime JSON, cheap enough for fleet
+    probes), and ``GET /profile?seconds=N`` (sample the process for N
+    seconds, answer a speedscope document).  The scrape is
     the union of the gateway's own :class:`Metrics` registry and the
     process-global :mod:`repro.obs` registry, so gateway counters and
     codec-layer counters (matcher probes, encoder stage timings,
@@ -207,8 +234,10 @@ class GatewayServer:
         self._handlers: set[asyncio.Task] = set()
         self._conns_done = asyncio.Event()
         self._conns_seen = 0
+        self._started: float | None = None
 
     async def start(self) -> None:
+        self._started = time.monotonic()
         self._server = await asyncio.start_server(self._on_connection,
                                                   self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -223,6 +252,58 @@ class GatewayServer:
         return merge_snapshots(obs.get_registry().snapshot(),
                                self.metrics.snapshot())
 
+    def _record_ledger(self, snapshot: dict) -> None:
+        """Refresh ``ledger.*`` gauges from one merged snapshot.
+
+        Every stage reporting the ``bytes=`` dimension gets a pair of
+        gauges — ``ledger.{stage}.mb_s`` and ``ledger.{stage}.share`` —
+        so Prometheus scrapes carry per-stage throughput without the
+        scraper re-deriving it from counters and histogram sums.
+        """
+        for row in ledger(snapshot):
+            self.metrics.gauge(f"ledger.{row['stage']}.mb_s", row["mb_s"])
+            self.metrics.gauge(f"ledger.{row['stage']}.share", row["share"])
+
+    def _render_profile(self, query: str) -> tuple[str, str, bytes]:
+        """Sample for ``seconds=N`` (default 2) and answer speedscope JSON.
+
+        Runs in the sidecar's worker thread, so the sleep never blocks
+        the event loop.  If no profiler is running one is started for
+        the window and stopped after; an already-running profiler (e.g.
+        ``serve --profile``) is windowed by snapshot diff instead, so
+        the request never disturbs its accumulation.  The export covers
+        every pid known at the end of the window — pool workers whose
+        deltas merged during the window appear next to the parent.
+        """
+        import json
+
+        from repro.obs import prof
+
+        params = dict(p.split("=", 1) for p in query.split("&")
+                      if "=" in p)
+        try:
+            seconds = float(params.get("seconds", 2.0))
+        except ValueError:
+            seconds = 2.0
+        seconds = min(max(seconds, 0.1), _PROFILE_MAX_SECONDS)
+        try:
+            hz = float(params.get("hz", 0)) or None
+        except ValueError:
+            hz = None
+        owned = not prof.running()
+        if owned:
+            prof.start(hz)
+        before = prof.profiles()
+        time.sleep(seconds)
+        after = prof.profiles()
+        if owned:
+            prof.stop()
+        window = prof.diff_profiles(before, after)
+        doc = speedscope_doc(window, name=f"culzss gateway ({seconds:g}s)")
+        self.metrics.inc("sidecar.profile_requests")
+        return ("200 OK", "application/json",
+                (json.dumps(doc) + "\n").encode())
+
     def _render_sidecar(self, path: str) -> tuple[str, str, bytes]:
         """Build one sidecar response; runs in a worker thread.
 
@@ -230,15 +311,29 @@ class GatewayServer:
         so moving them off the event loop keeps frame traffic flowing
         while a (possibly huge) scrape serializes.  SLO sampling rides
         the scrape: every request feeds the monitor one observation and
-        refreshes the ``slo.*`` gauges *before* the served snapshot is
-        taken, so the scrape that detects a breach also reports it.
+        refreshes the ``slo.*`` and ``ledger.*`` gauges *before* the
+        served snapshot is taken, so the scrape that detects a breach
+        also reports it.
         """
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
+        if path == "/healthz":
+            import json
+
+            uptime = (time.monotonic() - self._started
+                      if self._started is not None else 0.0)
+            body = json.dumps({"status": "ok",
+                               "uptime_seconds": round(uptime, 3),
+                               "connections": self._conns_seen}) + "\n"
+            return "200 OK", "application/json", body.encode()
+        if path == "/profile":
+            return self._render_profile(query)
         if path not in ("/metrics", "/metrics.json", "/slo.json"):
             return ("404 Not Found", "text/plain",
-                    b"try /metrics, /metrics.json or /slo.json\n")
+                    b"try /metrics, /metrics.json, /slo.json, /healthz "
+                    b"or /profile?seconds=N\n")
         report = self.slo.record_gauges(self.metrics,
                                         snapshot=self.metrics_snapshot())
+        self._record_ledger(self.metrics_snapshot())
         if path == "/slo.json":
             import json
 
@@ -256,13 +351,15 @@ class GatewayServer:
 
         Deliberately minimal — no keep-alive, no chunked bodies; it
         exists for ``curl`` and Prometheus scrapers, both of which are
-        happy with connection-close semantics.  The whole exchange is
-        bounded by ``metrics_timeout`` seconds and any failure closes
-        the connection without touching the listener, so a stuck or
-        malicious scraper costs one socket, never the sidecar.
+        happy with connection-close semantics.  Reading the request and
+        rendering the response are each bounded by ``metrics_timeout``
+        seconds (``/profile`` additionally gets its requested sampling
+        window on top) and any failure closes the connection without
+        touching the listener, so a stuck or malicious scraper costs
+        one socket, never the sidecar.
         """
 
-        async def exchange() -> None:
+        async def read_request() -> str:
             request = await reader.readline()
             parts = request.decode("latin-1", "replace").split()
             path = parts[1] if len(parts) >= 2 else ""
@@ -271,6 +368,9 @@ class GatewayServer:
                 line = await reader.readline()
                 if line in (b"", b"\r\n", b"\n"):
                     break
+            return path
+
+        async def respond(path: str) -> None:
             loop = asyncio.get_running_loop()
             status, ctype, body = await loop.run_in_executor(
                 None, self._render_sidecar, path)
@@ -282,7 +382,12 @@ class GatewayServer:
             await writer.drain()
 
         try:
-            await asyncio.wait_for(exchange(), self.metrics_timeout)
+            path = await asyncio.wait_for(read_request(),
+                                          self.metrics_timeout)
+            # A profile request deliberately blocks for its sampling
+            # window; extend the render budget by exactly that much.
+            budget = self.metrics_timeout + _profile_window(path)
+            await asyncio.wait_for(respond(path), budget)
         except (ConnectionError, OSError, asyncio.TimeoutError,
                 TimeoutError):
             pass

@@ -187,7 +187,12 @@ class _PooledStage:
         """The fan-out executor; ``None`` means the loop's default pool."""
         if (self._executor is None and self._owns_executor and self.workers
                 and not self._pool_dead):
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            # The initializer starts a sampling profiler in each worker
+            # when REPRO_PROFILE_HZ is set (``--profile`` exports cover
+            # pool workers too); it is a no-op otherwise.
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=obs.prof.init_worker)
         return self._executor
 
     def _crashed(self, stage: str, trace_id: int = 0) -> None:
@@ -431,7 +436,12 @@ class IngressPipeline(_PooledStage):
                     m.observe("ingress.frame_ratio", frame.wire_size / n_in)
                 t0 = perf_counter()
                 await send(frame)
-                m.observe("ingress.send_wait_seconds", perf_counter() - t0)
+                sent = perf_counter() - t0
+                m.observe("ingress.send_wait_seconds", sent)
+                # Throughput-ledger view of the same interval: wire
+                # bytes over transport time -> a transport.send MB/s row.
+                m.observe("transport.send_seconds", sent)
+                m.inc("transport.send_bytes", frame.wire_size)
 
         n_frames, _ = await _run_both(submit(), drain())
         return n_frames

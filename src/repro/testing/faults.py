@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import os
 import random
+import time
 from concurrent.futures import BrokenExecutor, Executor, Future
+from contextlib import contextmanager
 
 from repro.container import unpack_container
 from repro.util.validation import require
@@ -43,6 +45,7 @@ __all__ = [
     "crash_factory",
     "crash_worker_job",
     "flip_bits",
+    "slow_call",
     "tag_crash_buffer",
     "truncate",
 ]
@@ -55,6 +58,29 @@ DEFAULT_CHAOS_SEEDS = (101, 202, 303)
 def chaos_seed(default: int = DEFAULT_CHAOS_SEEDS[0]) -> int:
     """The active chaos seed: ``REPRO_CHAOS_SEED`` env var or a default."""
     return int(os.environ.get("REPRO_CHAOS_SEED", default))
+
+
+@contextmanager
+def slow_call(module, attr: str, seconds: float):
+    """Induce a perf regression: every ``module.attr`` call sleeps first.
+
+    The forensics counterpart of the corruption injectors — callers
+    that resolve ``attr`` through the module at call time (the bench
+    gate's contract) see an artificially slow implementation for the
+    duration of the ``with``, which is how the attribution tests plant
+    a regression in one known stage.  Restores the original on exit.
+    """
+    original = getattr(module, attr)
+
+    def slowed(*args, **kwargs):
+        time.sleep(seconds)
+        return original(*args, **kwargs)
+
+    setattr(module, attr, slowed)
+    try:
+        yield original
+    finally:
+        setattr(module, attr, original)
 
 
 # ------------------------------------------------------ blob corruption

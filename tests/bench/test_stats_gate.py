@@ -110,6 +110,53 @@ def test_compare_improvement_and_unmatched_pass():
                        "new": "unmatched"}
 
 
+# --------------------------------------------------------- attribution
+
+def test_capture_stages_diffs_the_global_registry():
+    from repro import obs
+
+    with stats.capture_stages() as cap:
+        with obs.stage("encode.match", bytes=1000):
+            time.sleep(0.01)
+    assert "encode.match" in cap.stages
+    row = cap.stages["encode.match"]
+    assert row["bytes"] == 1000 and row["calls"] == 1
+    assert row["seconds"] >= 0.009
+    assert row["share"] == pytest.approx(1.0, abs=0.01)
+
+
+def stage_row(share: float, seconds: float) -> dict:
+    return {"seconds": seconds, "bytes": 1000, "calls": 1, "share": share}
+
+
+def test_attribute_case_names_the_share_gainer():
+    base = {"stages": {"encode.match": stage_row(0.50, 0.10),
+                       "encode.pack": stage_row(0.50, 0.10)}}
+    fresh = {"stages": {"encode.match": stage_row(0.80, 0.40),
+                        "encode.pack": stage_row(0.20, 0.10)}}
+    attr = gate.attribute_case(base, fresh)
+    assert attr["suspects"] == ["encode.match"]
+    top = attr["rows"][0]
+    assert top["stage"] == "encode.match"
+    assert top["share_delta"] == pytest.approx(0.30)
+    assert top["seconds_ratio"] == pytest.approx(4.0)
+
+
+def test_attribute_case_uniform_slowdown_names_top_gainer_only():
+    # both stages doubled: no share moved past the floor, so the single
+    # top gainer is named rather than nothing (never a silent verdict)
+    base = {"stages": {"a": stage_row(0.6, 0.6), "b": stage_row(0.4, 0.4)}}
+    fresh = {"stages": {"a": stage_row(0.61, 1.22),
+                        "b": stage_row(0.39, 0.78)}}
+    attr = gate.attribute_case(base, fresh)
+    assert attr["suspects"] == ["a"]
+
+
+def test_attribute_case_without_stage_data_is_none():
+    assert gate.attribute_case({}, {"stages": {"a": stage_row(1, 1)}}) is None
+    assert gate.attribute_case({"stages": {"a": stage_row(1, 1)}}, {}) is None
+
+
 # ---------------------------------------------------- gate end-to-end
 
 SIZE, REPEATS = 16_000, 4
@@ -148,6 +195,84 @@ def test_gate_fails_on_injected_encode_slowdown(tmp_path, monkeypatch):
     assert "REGRESSION" in text and "encode_v2" in text
 
 
+def test_gate_cases_record_stage_breakdowns():
+    cases = gate.gate_cases(SIZE, repeats=2, warmup=0)
+    assert "encode.match" in cases["encode_v2"]["stages"]
+    assert "decode.stream" in cases["decode_v2"]["stages"]
+    assert "container.unpack" in cases["container_unpack"]["stages"]
+    for summary in cases.values():
+        shares = sum(v["share"] for v in summary["stages"].values())
+        assert shares == pytest.approx(1.0, abs=0.02)
+
+
+def test_gate_attribution_names_the_slowed_stage(tmp_path):
+    """The acceptance criterion: induce a regression in one known stage
+    and ``--attribute`` must name exactly that stage."""
+    from repro.lzss import encoder
+    from repro.testing import faults
+
+    path = tmp_path / "BENCH_engine.json"
+    assert gate.run_gate(path, mode="quick", update=True,
+                         size_bytes=SIZE, repeats=REPEATS,
+                         out=lambda *a: None) == 0
+    lines: list[str] = []
+    with faults.slow_call(encoder, "best_matches", 0.05):
+        rc = gate.run_gate(path, mode="quick", size_bytes=SIZE,
+                           repeats=REPEATS, attribute=True,
+                           out=lines.append)
+    assert rc == 1
+    text = "\n".join(lines)
+    assert "REGRESSION" in text and "encode_v2" in text
+    # judge the encode_v2 block specifically: a sub-ms case elsewhere
+    # can regress on timer noise under load, with its own attribution
+    block = text.split("encode_v2", 1)[1]
+    suspect = next(line for line in block.splitlines()
+                   if "suspect stage(s):" in line)
+    assert "encode.match" in suspect, text
+    # the grown stage is flagged inline in the share table too
+    assert any("encode.match" in line and "<-- suspect" in line
+               for line in block.splitlines()), text
+
+
+def test_gate_attribution_against_pre_stage_baseline_hints_refresh(tmp_path):
+    """Baselines recorded before stage capture existed: attribution
+    degrades to an actionable hint, never a crash."""
+    path = tmp_path / "BENCH_engine.json"
+    assert gate.run_gate(path, mode="quick", update=True,
+                         size_bytes=SIZE, repeats=REPEATS,
+                         out=lambda *a: None) == 0
+    # strip the recorded breakdowns, as an old committed baseline would be
+    doc = json.loads(path.read_text())
+    for run in doc["runs"]:
+        for case in run["cases"].values():
+            case.pop("stages", None)
+    path.write_text(json.dumps(doc))
+    from repro.lzss import encoder
+    from repro.testing import faults
+
+    lines: list[str] = []
+    with faults.slow_call(encoder, "best_matches", 0.05):
+        rc = gate.run_gate(path, mode="quick", size_bytes=SIZE,
+                           repeats=REPEATS, attribute=True,
+                           out=lines.append)
+    assert rc == 1
+    assert "refresh it with `culzss benchgate --update`" in "\n".join(lines)
+
+
+def test_gate_profile_writes_speedscope(tmp_path):
+    path = tmp_path / "BENCH_engine.json"
+    profile = tmp_path / "gate.speedscope.json"
+    lines: list[str] = []
+    assert gate.run_gate(path, mode="quick", update=True,
+                         size_bytes=SIZE, repeats=REPEATS,
+                         profile=profile, out=lines.append) == 0
+    doc = json.loads(profile.read_text())
+    assert doc["$schema"].endswith("file-format-schema.json")
+    assert doc["profiles"] and doc["profiles"][0]["samples"]
+    assert profile.with_suffix(".collapsed").exists()
+    assert any("profile:" in line for line in lines)
+
+
 def test_gate_without_baseline_exits_two(tmp_path):
     lines: list[str] = []
     rc = gate.run_gate(tmp_path / "missing.json", mode="quick",
@@ -169,6 +294,9 @@ def test_cli_benchgate_wires_through(tmp_path, capsys):
     baseline = tmp_path / "BENCH_engine.json"
     assert main(["benchgate", "--quick", "--update",
                  "--baseline", str(baseline)]) == 0
-    rc = main(["benchgate", "--quick", "--baseline", str(baseline)])
+    # generous threshold, same rationale as the library-level test: this
+    # asserts the wiring, and the sub-ms quick cases flake under load
+    rc = main(["benchgate", "--quick", "--baseline", str(baseline),
+               "--threshold", "150"])
     assert rc == 0
     assert "gate: PASS" in capsys.readouterr().out

@@ -11,7 +11,11 @@ from repro import obs
 @pytest.fixture(autouse=True)
 def clean_obs():
     obs.enable()
+    obs.prof.stop()
+    obs.prof.clear()
     obs.reset()
     yield
     obs.enable()
+    obs.prof.stop()
+    obs.prof.clear()
     obs.reset()

@@ -4,14 +4,19 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro import obs
 from repro.obs import trace
 from repro.obs.export import (
     chrome_trace,
+    format_ledger,
     format_pretty,
     json_text,
+    ledger,
     merge_snapshots,
     prometheus_text,
+    stage_breakdown,
     write_chrome_trace,
 )
 from repro.obs.registry import MetricRegistry
@@ -128,6 +133,71 @@ def test_merge_snapshots_disjoint_keys_union():
     merged = merge_snapshots(a.snapshot(), b.snapshot())
     assert merged["counters"]["only.a"] == 1
     assert merged["histograms"]["only.b"]["count"] == 1
+
+
+# ----------------------------------------------------- throughput ledger
+
+def _ledger_registry() -> MetricRegistry:
+    reg = MetricRegistry()
+    # two ledger stages: bytes counter + populated seconds histogram
+    reg.inc("encode.match_bytes", 1_000_000)
+    reg.observe("encode.match_seconds", 2.0)
+    reg.inc("decode.stream_bytes", 500_000)
+    reg.observe("decode.stream_seconds", 0.5)
+    reg.observe("decode.stream_seconds", 0.5)
+    # a bytes counter with no timing histogram: not a ledger stage
+    reg.inc("ingress.bytes_in", 999)
+    # a timed stage with no bytes dimension: not a ledger stage either
+    reg.observe("engine.queue_wait_seconds", 1.0)
+    return reg
+
+
+def test_ledger_rows_rates_and_shares():
+    rows = ledger(_ledger_registry().snapshot())
+    assert [r["stage"] for r in rows] == ["encode.match", "decode.stream"]
+    match, stream = rows
+    assert match["bytes"] == 1_000_000
+    assert match["seconds"] == 2.0
+    assert match["calls"] == 1
+    assert match["mb_s"] == 0.5
+    assert match["share"] == 2.0 / 3.0
+    assert stream["calls"] == 2
+    assert stream["mb_s"] == 0.5
+    assert stream["share"] == 1.0 / 3.0
+
+
+def test_ledger_empty_snapshot_and_format():
+    assert ledger(MetricRegistry().snapshot()) == []
+    assert "no per-stage byte accounting" in format_ledger([])
+    text = format_ledger(ledger(_ledger_registry().snapshot()))
+    lines = text.splitlines()
+    assert lines[0].split() == ["stage", "share", "seconds", "MB/s",
+                                "bytes", "calls"]
+    assert lines[1].startswith("encode.match")  # hottest first
+    assert "66.7%" in lines[1]
+
+
+def test_stage_breakdown_diffs_two_snapshots():
+    reg = _ledger_registry()
+    before = reg.snapshot()
+    reg.inc("encode.match_bytes", 2_000_000)
+    reg.observe("encode.match_seconds", 6.0)
+    after = reg.snapshot()
+    diff = stage_breakdown(before, after)
+    # only the stage that moved appears; decode.stream had no new calls
+    assert set(diff) == {"encode.match"}
+    assert diff["encode.match"]["seconds"] == pytest.approx(6.0)
+    assert diff["encode.match"]["bytes"] == 2_000_000
+    assert diff["encode.match"]["calls"] == 1
+    assert diff["encode.match"]["share"] == pytest.approx(1.0)
+
+
+def test_stage_breakdown_from_empty_before():
+    after = _ledger_registry().snapshot()
+    diff = stage_breakdown(MetricRegistry().snapshot(), after)
+    assert set(diff) == {"encode.match", "decode.stream"}
+    shares = sum(v["share"] for v in diff.values())
+    assert shares == pytest.approx(1.0)
 
 
 # --------------------------------------------------------- chrome trace

@@ -54,6 +54,32 @@ def test_render_full_frame_sections():
     assert "60s:5.2" in text
 
 
+def test_render_codecs_pane_counts_ratios_and_rates():
+    h = Histogram()
+    for v in (0.4, 0.5, 0.6):
+        h.record(v)
+    prev = snapshot(counters={"codec.chunks_lzss": 10})
+    cur = snapshot(
+        counters={"codec.chunks_lzss": 30, "codec.chunks_store": 4,
+                  "codec.store_fallbacks": 4},
+        histograms={"codec.ratio_lzss": h.snapshot()})
+    text = render(cur, None, prev=prev, dt=2.0)
+    assert "codecs" in text
+    pane = text.split("codecs")[1].split("slo")[0]
+    assert "lzss" in pane and "store" in pane and "lzss_huffman" in pane
+    lzss_line = next(line for line in pane.splitlines()
+                     if line.strip().startswith("lzss "))
+    assert "30 chunks" in lzss_line
+    assert "10.0/s" in lzss_line  # (30-10)/2s
+    assert "ratio p50" in lzss_line and "-" not in lzss_line.split("p50")[1]
+    assert "store-fallbacks     4" in pane
+
+
+def test_render_codecs_pane_collapses_when_no_dispatch():
+    text = render(snapshot(), None)
+    assert "(no codec dispatch recorded)" in text
+
+
 def test_render_rates_diff_against_previous_poll():
     prev = snapshot(counters={"ingress.bytes_in": 1_000_000})
     cur = snapshot(counters={"ingress.bytes_in": 3_000_000})

@@ -326,3 +326,55 @@ def test_metrics_sidecar_defaults_off():
                     and server._metrics_server is None)
 
     assert asyncio.run(scenario())
+
+
+def test_sidecar_healthz_reports_uptime_and_conns():
+    import json
+
+    async def scenario() -> tuple[int, bytes, int, bytes]:
+        async with GatewayServer(metrics_port=0) as server:
+            health = await _http_get(server.host, server.metrics_port,
+                                     "/healthz")
+            missing = await _http_get(server.host, server.metrics_port,
+                                      "/nope")
+            await server.close()
+            return (*health, *missing)
+
+    status, body, missing_status, hint = asyncio.run(scenario())
+    assert status == 200
+    doc = json.loads(body)
+    assert doc["status"] == "ok"
+    assert doc["uptime_seconds"] >= 0
+    assert doc["connections"] == 0
+    # the 404 hint advertises the new endpoints
+    assert missing_status == 404
+    assert b"/healthz" in hint and b"/profile" in hint
+
+
+@pytest.mark.slow
+def test_sidecar_profile_endpoint_returns_speedscope_window():
+    import json
+
+    async def scenario() -> tuple[int, bytes, int]:
+        async with GatewayServer(metrics_port=0) as server:
+            # the window must see a running interpreter, which the
+            # event loop itself provides; 0.3s at the default hz is
+            # plenty to collect the loop's own stacks
+            ok = await _http_get(server.host, server.metrics_port,
+                                 "/profile?seconds=0.3")
+            bad = await _http_get(server.host, server.metrics_port,
+                                  "/profile?seconds=banana")
+            await server.close()
+            return (*ok, bad[0])
+
+    status, body, bad_status = asyncio.run(scenario())
+    assert status == 200
+    doc = json.loads(body)
+    assert doc["$schema"].endswith("file-format-schema.json")
+    assert doc["name"].startswith("culzss gateway")
+    # a malformed seconds falls back to the default window, not a 500
+    assert bad_status == 200
+    # the on-demand window owned its profiler: nothing left running
+    from repro.obs import prof
+
+    assert not prof.running()

@@ -368,3 +368,45 @@ def test_benchgate_suite_codecs_uses_committed_baseline(capsys):
     assert "codec.auto.encode" in out
     assert "codec.lz4s.decode" in out
     assert rc in (0, 1)  # a noisy host may regress; it must still compare
+
+
+def test_compress_profile_writes_speedscope_and_collapsed(sample_file,
+                                                          tmp_path, capsys):
+    import json
+    import os
+
+    comp = tmp_path / "out.cz"
+    prof_path = tmp_path / "compress.speedscope.json"
+    assert main(["compress", str(sample_file), str(comp),
+                 "--profile", str(prof_path), "--profile-hz", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "profile:" in out and "process(es)" in out
+    doc = json.loads(prof_path.read_text())
+    assert doc["$schema"].endswith("file-format-schema.json")
+    assert doc["profiles"] and doc["profiles"][0]["samples"]
+    assert prof_path.with_suffix(".collapsed").exists()
+    # the profiler and its env contract were torn down on exit
+    from repro.obs import prof
+
+    assert not prof.running()
+    assert prof.ENV_HZ not in os.environ
+
+
+def test_stats_pretty_includes_ledger(sample_file, capsys):
+    from repro import obs
+
+    obs.reset()
+    assert main(["stats", str(sample_file), "--format", "pretty"]) == 0
+    out = capsys.readouterr().out
+    assert "per-stage throughput ledger:" in out
+    ledger_block = out.split("per-stage throughput ledger:")[1]
+    assert "encode.match" in ledger_block
+    assert "MB/s" in ledger_block
+    obs.reset()
+
+
+def test_benchgate_attribute_and_profile_flags_in_help(capsys):
+    with pytest.raises(SystemExit):
+        main(["benchgate", "--help"])
+    out = capsys.readouterr().out
+    assert "--attribute" in out and "--profile" in out
